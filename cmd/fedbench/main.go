@@ -1,0 +1,101 @@
+// Command fedbench regenerates the tables and figures of "Federated
+// Optimization in Heterogeneous Networks" (Li et al., MLSys 2020) on the
+// simulated substrates in this repository.
+//
+// Usage:
+//
+//	fedbench -list
+//	fedbench -exp figure1 [-fast] [-datasets synthetic,mnist] [-csv out.csv] [-series]
+//	fedbench -exp all -fast
+//
+// By default experiments run at the "full" preset (minutes); -fast runs
+// the miniature preset used by the benchmark suite (seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fedprox/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments")
+		fast     = flag.Bool("fast", false, "use the miniature preset (seconds per figure)")
+		series   = flag.Bool("series", false, "print full per-round series, not just the summary")
+		csvPath  = flag.String("csv", "", "also write every evaluated point as CSV to this file")
+		datasets = flag.String("datasets", "", "comma-separated subset of synthetic,mnist,femnist,shakespeare,sent140")
+		rounds   = flag.Int("rounds", 0, "override communication rounds for convex workloads")
+		seed     = flag.Uint64("seed", 0, "override environment seed")
+		scale    = flag.Float64("scale", 0, "override dataset scale factor")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Lookup(id)
+			fmt.Printf("  %-10s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "fedbench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	opts := experiments.Full()
+	if *fast {
+		opts = experiments.Fast()
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+	if *rounds > 0 {
+		opts.Rounds = *rounds
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, id := range ids {
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Summary())
+		if *series {
+			fmt.Println(res.Series())
+		}
+		if csvFile != nil {
+			if err := res.WriteCSV(csvFile); err != nil {
+				fmt.Fprintf(os.Stderr, "fedbench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

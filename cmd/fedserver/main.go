@@ -1,0 +1,75 @@
+// Command fedserver runs the federated coordinator of the fednet
+// distributed runtime: it owns the global model and round schedule and
+// never sees training data.
+//
+// Workers and server must agree on -workload, -scale, and -data-seed so
+// every process derives the same dataset partition and model shape; the
+// server uses the dataset only to size the model and count devices.
+//
+//	fedserver -addr :7070 -workload synthetic -rounds 50 -mu 1 &
+//	fedworker -addr localhost:7070 -workload synthetic -workers 3 -index 0 &
+//	fedworker -addr localhost:7070 -workload synthetic -workers 3 -index 1 &
+//	fedworker -addr localhost:7070 -workload synthetic -workers 3 -index 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedprox/internal/core"
+	"fedprox/internal/experiments"
+	"fedprox/internal/fednet"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address")
+		workload   = flag.String("workload", "synthetic", "workload key: synthetic, synthetic-iid, mnist, femnist, shakespeare, sent140")
+		scale      = flag.Float64("scale", 0.25, "dataset scale factor (must match workers)")
+		rounds     = flag.Int("rounds", 50, "communication rounds")
+		clients    = flag.Int("clients", 10, "devices selected per round (K)")
+		epochs     = flag.Int("epochs", 20, "local epochs (E)")
+		mu         = flag.Float64("mu", 1, "proximal coefficient")
+		stragglers = flag.Float64("stragglers", 0.5, "straggler fraction per round")
+		drop       = flag.Bool("drop", false, "drop stragglers (FedAvg) instead of aggregating partial work")
+		evalEvery  = flag.Int("eval-every", 5, "evaluation interval in rounds")
+		seed       = flag.Uint64("seed", 7, "environment seed (must match workers' -data-seed usage)")
+	)
+	flag.Parse()
+
+	opts := experiments.Full()
+	opts.Scale = *scale
+	w, err := opts.NamedWorkload(*workload)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := core.FedProx(*rounds, *clients, *epochs, w.LR, *mu)
+	cfg.StragglerFraction = *stragglers
+	cfg.EvalEvery = *evalEvery
+	cfg.Seed = *seed
+	if *drop {
+		cfg.Straggler = core.DropStragglers
+	}
+
+	srv, err := fednet.NewServer(w.Model, fednet.ServerConfig{
+		Training:      cfg,
+		ExpectDevices: w.Fed.NumDevices(),
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("fedserver: %s on %s — waiting for %d devices\n",
+		core.Label(cfg), *addr, w.Fed.NumDevices())
+	hist, err := srv.Run(*addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(hist)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+	os.Exit(1)
+}

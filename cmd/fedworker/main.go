@@ -1,0 +1,90 @@
+// Command fedworker runs one worker of the fednet distributed runtime.
+// Each worker regenerates the shared synthetic federated dataset locally
+// (standing in for the on-device data a real deployment would have) and
+// hosts the shard range assigned by -index of -workers.
+//
+// See cmd/fedserver for a full launch recipe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedprox/internal/data"
+	"fedprox/internal/data/datafile"
+	"fedprox/internal/experiments"
+	"fedprox/internal/fednet"
+	"fedprox/internal/solver"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7070", "coordinator address")
+		workload = flag.String("workload", "synthetic", "workload key (must match the server)")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor (must match the server)")
+		dataPath = flag.String("data", "", "load the federated dataset from a fedgen file instead of regenerating")
+		workers  = flag.Int("workers", 1, "total number of workers in the deployment")
+		index    = flag.Int("index", 0, "this worker's index in [0, workers)")
+		local    = flag.String("solver", "sgd", "local solver: sgd, momentum, adagrad, adam, gd")
+	)
+	flag.Parse()
+	if *index < 0 || *index >= *workers {
+		fail(fmt.Errorf("index %d outside [0,%d)", *index, *workers))
+	}
+
+	opts := experiments.Full()
+	opts.Scale = *scale
+	w, err := opts.NamedWorkload(*workload)
+	if err != nil {
+		fail(err)
+	}
+	fed := w.Fed
+	if *dataPath != "" {
+		// A prepared data file (cmd/fedgen) replaces local regeneration —
+		// the deployment mode where devices already hold their data.
+		fed, err = datafile.ReadFile(*dataPath)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	// Round-robin shard assignment: worker i hosts devices i, i+W, i+2W...
+	var shards []*data.Shard
+	for k := *index; k < fed.NumDevices(); k += *workers {
+		shards = append(shards, fed.Shards[k])
+	}
+
+	ls, err := pickSolver(*local)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("fedworker %d/%d: hosting %d devices of %s, solver %s\n",
+		*index, *workers, len(shards), fed.Name, ls.Name())
+	if err := fednet.NewWorker(w.Model, shards, ls).Run(*addr); err != nil {
+		fail(err)
+	}
+	fmt.Printf("fedworker %d: shut down cleanly\n", *index)
+}
+
+func pickSolver(name string) (solver.LocalSolver, error) {
+	switch name {
+	case "sgd":
+		return solver.SGDSolver{}, nil
+	case "momentum":
+		return solver.MomentumSolver{Beta: 0.9}, nil
+	case "adagrad":
+		return solver.AdagradSolver{}, nil
+	case "adam":
+		return solver.AdamSolver{}, nil
+	case "gd":
+		return solver.GDSolver{StepsPerEpoch: 1}, nil
+	default:
+		return nil, fmt.Errorf("unknown solver %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fedworker: %v\n", err)
+	os.Exit(1)
+}

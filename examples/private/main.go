@@ -1,0 +1,87 @@
+// Private: compose FedProx with the two standard privacy mechanisms the
+// paper's footnote 1 refers to.
+//
+//  1. Update-level DP: every device clips its model delta and adds
+//     Gaussian noise before upload (internal/privacy), wired straight
+//     into the core round loop.
+//
+//  2. Secure aggregation: devices upload pairwise-masked weighted models;
+//     the server recovers only the weighted average, never an individual
+//     update (internal/secagg).
+//
+//     go run ./examples/private
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/frand"
+	"fedprox/internal/model/linear"
+	"fedprox/internal/privacy"
+	"fedprox/internal/secagg"
+	"fedprox/internal/tensor"
+)
+
+func main() {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.25))
+	mdl := linear.ForDataset(fed)
+
+	// --- Part 1: DP-FedProx ---
+	fmt.Println("== update-level differential privacy ==")
+	base := core.FedProx(60, 10, 20, 0.01, 1)
+	base.StragglerFraction = 0.5
+	base.EvalEvery = 60
+	for _, noise := range []float64{0, 0.0005, 0.005} {
+		cfg := base
+		if noise > 0 {
+			cfg.Privacy = &privacy.Mechanism{ClipNorm: 0.5, NoiseStd: noise, Seed: 11}
+		}
+		h, err := core.Run(mdl, fed, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("noise=%-7g final-loss=%.4f final-acc=%.4f\n",
+			noise, h.Final().TrainLoss, h.Final().TestAcc)
+	}
+	z := privacy.NoiseMultiplier(1.0, 1e-5)
+	fmt.Printf("(single-release Gaussian mechanism at eps=1, delta=1e-5 needs sigma = %.2f x clip)\n\n", z)
+
+	// --- Part 2: secure aggregation of one round ---
+	fmt.Println("== secure aggregation of one FedProx round ==")
+	ids := []int{0, 1, 2, 3, 4}
+	cohort, err := secagg.NewCohort(ids, mdl.NumParams(), 424242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := frand.New(5)
+	models := map[int][]float64{}
+	sizes := map[int]int{}
+	plain := make([]float64, mdl.NumParams())
+	total := 0
+	for _, id := range ids {
+		models[id] = rng.NormVec(make([]float64, mdl.NumParams()), 0, 0.1)
+		sizes[id] = len(fed.Shards[id].Train)
+		total += sizes[id]
+	}
+	for _, id := range ids {
+		tensor.Axpy(float64(sizes[id])/float64(total), models[id], plain)
+	}
+	secure, err := cohort.WeightedAverage(models, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range plain {
+		if d := math.Abs(secure[i] - plain[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("devices: %v (weighted by local sample counts)\n", ids)
+	fmt.Printf("max |secure − plain| over %d coordinates: %.2g (lattice resolution ~1e-6)\n",
+		mdl.NumParams(), maxErr)
+	fmt.Println("the server recovered the exact weighted average without seeing any single model")
+}

@@ -1,0 +1,51 @@
+// Quickstart: train FedProx and FedAvg on the paper's Synthetic(1,1)
+// dataset under systems heterogeneity and compare their convergence.
+//
+// This is the minimal end-to-end use of the library: generate a federated
+// dataset, pick a model, configure the two algorithms, run them in the
+// identical simulated environment, and print the trajectories.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/model/linear"
+)
+
+func main() {
+	// Synthetic(1,1): highly heterogeneous — each device has its own label
+	// model and its own input distribution. Scaled down 4x for a fast demo.
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.25))
+	mdl := linear.ForDataset(fed)
+
+	fmt.Printf("dataset: %s — %d devices, %d samples\n",
+		fed.Name, fed.NumDevices(), fed.TotalSamples())
+
+	// 90% of the 10 selected devices per round are stragglers that finish
+	// only a random fraction of their 20 local epochs.
+	fedavg := core.FedAvg(60, 10, 20, 0.01)
+	fedavg.StragglerFraction = 0.9
+	fedavg.EvalEvery = 10
+
+	fedprox := core.FedProx(60, 10, 20, 0.01, 1) // mu = 1, the paper's best
+	fedprox.StragglerFraction = 0.9
+	fedprox.EvalEvery = 10
+
+	for _, cfg := range []core.Config{fedavg, fedprox} {
+		hist, err := core.Run(mdl, fed, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(hist)
+	}
+
+	fmt.Println("\nFedAvg drops the stragglers; FedProx aggregates their")
+	fmt.Println("partial work and regularizes with the proximal term — it")
+	fmt.Println("should reach a visibly lower loss at the same round budget.")
+}

@@ -1,0 +1,42 @@
+// Text: the paper's non-convex workload — next-character prediction on
+// the Shakespeare surrogate with a 2-layer LSTM, trained federatedly with
+// FedProx under stragglers.
+//
+// One device per speaking role; each role's character stream comes from
+// its own Markov mixture, so local distributions differ (statistical
+// heterogeneity) while sharing global structure a single model can learn.
+//
+//	go run ./examples/text
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data/shakespearesim"
+	"fedprox/internal/model/lstm"
+)
+
+func main() {
+	cfg := shakespearesim.Default().Scaled(0.004, 12) // tiny corpus, seq len 12
+	cfg.Devices = 30
+	fed := shakespearesim.Generate(cfg)
+	mdl := lstm.ForDataset(fed, 8, 16, 2) // embed 8, hidden 16, 2 layers
+
+	fmt.Printf("dataset: %s — %d roles, %d sequences, vocab %d, seq len %d\n",
+		fed.Name, fed.NumDevices(), fed.TotalSamples(), fed.VocabSize, fed.SeqLen)
+	fmt.Printf("model: 2-layer LSTM, %d parameters\n\n", mdl.NumParams())
+
+	run := core.FedProx(8, 10, 2, 0.8, 0.001) // the paper's Shakespeare lr and best mu
+	run.StragglerFraction = 0.5
+	run.EvalEvery = 2
+	hist, err := core.Run(mdl, fed, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hist)
+
+	baseline := 1.0 / float64(fed.VocabSize)
+	fmt.Printf("\nrandom-guess accuracy is %.4f; the LSTM should beat it early\n", baseline)
+}

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedprox/internal/core"
+)
+
+func sampleState() *State {
+	return &State{
+		Fingerprint: Fingerprint{
+			Dataset:   "Synthetic(1,1)",
+			NumParams: 3,
+			Label:     "FedProx(mu=1)",
+			Seed:      7,
+		},
+		NextRound: 42,
+		Params:    []float64{0.1, -2.5, math.Pi},
+		History: core.History{
+			Label: "FedProx(mu=1)",
+			Points: []core.Point{
+				{Round: 0, TrainLoss: 2.3, TestAcc: 0.1, GradVar: math.NaN(), B: math.NaN(), MeanGamma: math.NaN()},
+				{Round: 40, TrainLoss: 0.5, TestAcc: 0.8, GradVar: math.NaN(), B: math.NaN(), MeanGamma: math.NaN()},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := sampleState()
+	if err := Save(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != want.Fingerprint {
+		t.Fatalf("fingerprint: %+v != %+v", got.Fingerprint, want.Fingerprint)
+	}
+	if got.NextRound != want.NextRound {
+		t.Fatalf("round: %d != %d", got.NextRound, want.NextRound)
+	}
+	for i := range want.Params {
+		if got.Params[i] != want.Params[i] {
+			t.Fatalf("param %d: %g != %g", i, got.Params[i], want.Params[i])
+		}
+	}
+	if len(got.History.Points) != 2 || got.History.Points[1].TestAcc != 0.8 {
+		t.Fatalf("history corrupted: %+v", got.History)
+	}
+	// NaN fields must survive (gob encodes NaN fine).
+	if !math.IsNaN(got.History.Points[0].GradVar) {
+		t.Fatal("NaN GradVar did not survive the round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	s := sampleState()
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the magic string region.
+	b := buf.Bytes()
+	for i := range b {
+		if b[i] == 'F' {
+			b[i] = 'X'
+			break
+		}
+	}
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted magic accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []func(*State){
+		func(s *State) { s.NextRound = -1 },
+		func(s *State) { s.Params = nil },
+		func(s *State) { s.Fingerprint.NumParams = 99 },
+	}
+	for i, mutate := range cases {
+		s := sampleState()
+		mutate(s)
+		var buf bytes.Buffer
+		if err := Save(&buf, s); err == nil {
+			t.Errorf("case %d: invalid state saved", i)
+		}
+	}
+}
+
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	want := sampleState()
+	if err := SaveFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextRound != want.NextRound {
+		t.Fatalf("round trip through file lost state")
+	}
+	// Overwrite must succeed and leave no temp litter.
+	want.NextRound = 43
+	if err := SaveFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1 (no temp litter)", len(entries))
+	}
+	got, err = LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextRound != 43 {
+		t.Fatalf("overwrite not visible: round %d", got.NextRound)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	s := sampleState()
+	if err := Compatible(s, s.Fingerprint); err != nil {
+		t.Fatalf("matching fingerprint rejected: %v", err)
+	}
+	other := s.Fingerprint
+	other.Seed = 99
+	if err := Compatible(s, other); err == nil {
+		t.Fatal("mismatched fingerprint accepted")
+	}
+}
+
+func TestDirOf(t *testing.T) {
+	if got := dirOf("/a/b/c.ckpt"); got != "/a/b" {
+		t.Fatalf("dirOf = %q", got)
+	}
+	if got := dirOf("c.ckpt"); got != "." {
+		t.Fatalf("dirOf bare = %q", got)
+	}
+}

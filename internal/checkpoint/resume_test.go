@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/model/linear"
+)
+
+// TestResumeMatchesUninterruptedRun is the integration guarantee: running
+// 10 rounds straight equals running 5 rounds, "crashing", and resuming
+// from the checkpoint for 5 more — bit for bit on the final loss.
+func TestResumeMatchesUninterruptedRun(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	base := core.FedProx(10, 5, 3, 0.01, 1)
+	base.EvalEvery = 5
+
+	straight, err := core.Run(mdl, fed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp := Fingerprint{
+		Dataset:   fed.Name,
+		NumParams: mdl.NumParams(),
+		Label:     core.Label(base),
+		Seed:      base.Seed,
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	// Phase 1: first 5 rounds, then "crash".
+	half := base
+	half.Rounds = 5
+	half.Checkpointer = File(path, fp)
+	if _, err := core.Run(mdl, fed, half); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume to the full 10 rounds.
+	full := base
+	full.Checkpointer = File(path, fp)
+	resumed, err := core.Run(mdl, fed, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := resumed.Final().TrainLoss, straight.Final().TrainLoss; got != want {
+		t.Fatalf("resumed final loss %.17g != straight %.17g", got, want)
+	}
+	if got, want := resumed.Final().Round, straight.Final().Round; got != want {
+		t.Fatalf("resumed final round %d != %d", got, want)
+	}
+	if len(resumed.Points) != len(straight.Points) {
+		t.Fatalf("resumed history has %d points, straight %d", len(resumed.Points), len(straight.Points))
+	}
+}
+
+func TestResumeRejectsWrongFingerprint(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	cfg := core.FedProx(4, 5, 2, 0.01, 1)
+	cfg.EvalEvery = 2
+	fp := Fingerprint{Dataset: fed.Name, NumParams: mdl.NumParams(), Label: core.Label(cfg), Seed: cfg.Seed}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg.Checkpointer = File(path, fp)
+	if _, err := core.Run(mdl, fed, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Resume under a different label must fail loudly, not silently train.
+	wrong := fp
+	wrong.Label = "FedAvg"
+	cfg.Checkpointer = File(path, wrong)
+	if _, err := core.Run(mdl, fed, cfg); err == nil {
+		t.Fatal("mismatched fingerprint resumed")
+	}
+}
+
+func TestFreshRunWithCheckpointerStartsAtZero(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	cfg := core.FedProx(3, 5, 2, 0.01, 0)
+	fp := Fingerprint{Dataset: fed.Name, NumParams: mdl.NumParams(), Label: core.Label(cfg), Seed: cfg.Seed}
+	cfg.Checkpointer = File(filepath.Join(t.TempDir(), "run.ckpt"), fp)
+	h, err := core.Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Points[0].Round != 0 {
+		t.Fatalf("fresh run did not record round 0: %+v", h.Points[0])
+	}
+}
+
+// TestCompletedRunResumesAsNoOp: resuming a finished run returns the
+// saved history without executing any rounds.
+func TestCompletedRunResumesAsNoOp(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	cfg := core.FedProx(4, 5, 2, 0.01, 0)
+	cfg.EvalEvery = 2
+	fp := Fingerprint{Dataset: fed.Name, NumParams: mdl.NumParams(), Label: core.Label(cfg), Seed: cfg.Seed}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg.Checkpointer = File(path, fp)
+	first, err := core.Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := core.Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Final().TrainLoss != first.Final().TrainLoss {
+		t.Fatal("no-op resume changed the final loss")
+	}
+	if len(again.Points) != len(first.Points) {
+		t.Fatalf("no-op resume history %d points, want %d", len(again.Points), len(first.Points))
+	}
+}

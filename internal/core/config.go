@@ -1,0 +1,240 @@
+// Package core implements the paper's contribution: the FedProx federated
+// optimization framework (Algorithm 2) and FedAvg (Algorithm 1) as its
+// μ = 0 / drop-stragglers special case.
+//
+// A run simulates T communication rounds. Each round the server selects K
+// of N devices, ships the global model wᵗ, lets each selected device run
+// its local solver on the subproblem h_k(w; wᵗ) = F_k(w) + (μ/2)‖w − wᵗ‖²
+// for as many epochs as its (simulated) systems resources allow, and
+// aggregates the returned models. Systems heterogeneity is simulated
+// exactly as in Section 5.2: a fixed fraction of the selected devices are
+// designated stragglers and draw a uniformly random epoch budget in
+// [1, E]; FedAvg drops them, FedProx aggregates their partial solutions.
+//
+// The environment (device selection, straggler designation, epoch draws,
+// and mini-batch order) is derived only from Config.Seed, the round index,
+// and the device index — never from the algorithm under test — so two
+// runs that differ only in method hyperparameters see byte-identical
+// randomness, the comparison protocol of Section 5.1.
+package core
+
+import (
+	"fmt"
+
+	"fedprox/internal/privacy"
+	"fedprox/internal/solver"
+)
+
+// SamplingScheme selects how devices are sampled and how their returned
+// models are aggregated. The two schemes are compared in Appendix C.3.4
+// (Figure 12).
+type SamplingScheme int
+
+const (
+	// UniformWeightedAvg samples K devices uniformly without replacement
+	// and averages returned models with weights proportional to local
+	// sample counts n_k. This is the scheme of McMahan et al. that the
+	// paper's main experiments use.
+	UniformWeightedAvg SamplingScheme = iota
+	// WeightedSimpleAvg samples K devices with probability proportional to
+	// p_k = n_k/n (without replacement) and takes the unweighted average,
+	// as written in Algorithms 1 and 2.
+	WeightedSimpleAvg
+)
+
+// String implements fmt.Stringer.
+func (s SamplingScheme) String() string {
+	switch s {
+	case UniformWeightedAvg:
+		return "uniform-sampling+weighted-average"
+	case WeightedSimpleAvg:
+		return "weighted-sampling+simple-average"
+	default:
+		return fmt.Sprintf("SamplingScheme(%d)", int(s))
+	}
+}
+
+// StragglerPolicy selects what the server does with devices that could not
+// complete all E local epochs within the round.
+type StragglerPolicy int
+
+const (
+	// DropStragglers discards straggler updates entirely (FedAvg's
+	// behaviour, per Bonawitz et al.).
+	DropStragglers StragglerPolicy = iota
+	// AggregatePartial incorporates whatever partial solution each
+	// straggler produced (FedProx's behaviour: tolerating partial work).
+	AggregatePartial
+)
+
+// String implements fmt.Stringer.
+func (p StragglerPolicy) String() string {
+	switch p {
+	case DropStragglers:
+		return "drop-stragglers"
+	case AggregatePartial:
+		return "aggregate-partial"
+	default:
+		return fmt.Sprintf("StragglerPolicy(%d)", int(p))
+	}
+}
+
+// Config fully describes one federated optimization run.
+type Config struct {
+	// Rounds is the number of communication rounds T.
+	Rounds int
+	// ClientsPerRound is K, the number of devices selected per round
+	// (paper: 10 everywhere).
+	ClientsPerRound int
+	// LocalEpochs is E, the epoch budget of a non-straggler (paper: 20,
+	// or 1 for the Appendix C.3.2 low-capability setting).
+	LocalEpochs int
+	// LearningRate is the local SGD step size η.
+	LearningRate float64
+	// BatchSize is the local mini-batch size (paper: 10).
+	BatchSize int
+	// Mu is the proximal coefficient μ. 0 with DropStragglers recovers
+	// FedAvg exactly.
+	Mu float64
+	// AdaptiveMu enables the Section 5.3.2 heuristic: μ starts at Mu, is
+	// increased by MuStep when the global loss increases, and decreased by
+	// MuStep after MuPatience consecutive decreases.
+	AdaptiveMu bool
+	// MuStep is the adaptive-μ adjustment (paper: 0.1). Zero selects 0.1.
+	MuStep float64
+	// MuPatience is the consecutive-decrease count before μ is lowered
+	// (paper: 5). Zero selects 5.
+	MuPatience int
+	// Sampling selects the sampling/aggregation scheme.
+	Sampling SamplingScheme
+	// Straggler selects the straggler policy (drop vs aggregate).
+	Straggler StragglerPolicy
+	// StragglerFraction is the fraction of selected devices designated as
+	// stragglers each round (paper: 0, 0.5, 0.9).
+	StragglerFraction float64
+	// EvalEvery is the round interval between full-network evaluations;
+	// round 0 and the final round are always evaluated. Zero selects 1.
+	EvalEvery int
+	// TrackDissimilarity additionally records the gradient-variance
+	// dissimilarity at every evaluation (the bottom rows of Figures 2, 6,
+	// 8, 12). It costs one full-network gradient pass per evaluation.
+	TrackDissimilarity bool
+	// TrackGamma records the mean achieved γ-inexactness across the
+	// selected devices each round (one full local gradient pass per
+	// selected device per round).
+	TrackGamma bool
+	// Seed drives every random draw of the simulated environment.
+	Seed uint64
+	// Parallelism bounds concurrent local solves within a round;
+	// 0 selects GOMAXPROCS.
+	Parallelism int
+	// Solver is the local solver devices run on their subproblems; nil
+	// selects mini-batch SGD (the paper's choice). The framework is
+	// solver-agnostic (Section 3.2), so any solver.LocalSolver works.
+	Solver solver.LocalSolver
+	// Privacy, when non-nil, clips and noises every device update before
+	// aggregation (the DP composition point of footnote 1).
+	Privacy *privacy.Mechanism
+	// Checkpointer, when non-nil, enables crash-safe persistence: the run
+	// resumes from the checkpointer's saved state if one exists and saves
+	// every CheckpointEvery rounds (see internal/checkpoint for the file
+	// implementation).
+	Checkpointer Checkpointer
+	// CheckpointEvery is the checkpoint interval in rounds; 0 selects
+	// EvalEvery.
+	CheckpointEvery int
+	// Capability, when non-nil, replaces the designated-straggler
+	// simulation with the capability-driven model of internal/syshet: each
+	// device's epoch budget is derived from its simulated hardware and the
+	// round's global clock cycle, and a device is a straggler exactly when
+	// its budget falls short of LocalEpochs. StragglerFraction is ignored
+	// when set.
+	Capability CapabilityModel
+}
+
+// Checkpointer persists and restores a run's resumable state. Load
+// returning (0, nil, nil, nil) means "no checkpoint yet — start fresh".
+// Implementations live outside this package (internal/checkpoint) so the
+// core stays dependency-free.
+type Checkpointer interface {
+	// Load returns the next round to execute, the global parameters, and
+	// the history so far, or zero values when nothing is saved.
+	Load() (nextRound int, params []float64, hist *History, err error)
+	// Save persists the state reached after round nextRound-1.
+	Save(nextRound int, params []float64, hist *History) error
+}
+
+// CapabilityModel yields per-(round, device) epoch budgets for the
+// capability-driven systems-heterogeneity simulation. Implementations
+// must be deterministic in (round, device).
+type CapabilityModel interface {
+	// EpochBudget returns how many of the requested epochs the device
+	// completes before the round's global clock cycle expires, in [0,
+	// requested].
+	EpochBudget(round, device, requested int) int
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("core: Rounds must be positive, got %d", c.Rounds)
+	case c.ClientsPerRound <= 0:
+		return fmt.Errorf("core: ClientsPerRound must be positive, got %d", c.ClientsPerRound)
+	case c.LocalEpochs <= 0:
+		return fmt.Errorf("core: LocalEpochs must be positive, got %d", c.LocalEpochs)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("core: LearningRate must be positive, got %g", c.LearningRate)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("core: BatchSize must be positive, got %d", c.BatchSize)
+	case c.Mu < 0:
+		return fmt.Errorf("core: Mu must be non-negative, got %g", c.Mu)
+	case c.StragglerFraction < 0 || c.StragglerFraction > 1:
+		return fmt.Errorf("core: StragglerFraction must be in [0,1], got %g", c.StragglerFraction)
+	}
+	if c.Privacy != nil {
+		if err := c.Privacy.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withDefaults returns c with zero-valued optional knobs filled in.
+func (c Config) withDefaults() Config {
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	if c.MuStep == 0 {
+		c.MuStep = 0.1
+	}
+	if c.MuPatience == 0 {
+		c.MuPatience = 5
+	}
+	return c
+}
+
+// FedAvg returns a configuration implementing Algorithm 1: μ = 0, SGD
+// local solver, stragglers dropped.
+func FedAvg(rounds, clients, epochs int, lr float64) Config {
+	return Config{
+		Rounds:          rounds,
+		ClientsPerRound: clients,
+		LocalEpochs:     epochs,
+		LearningRate:    lr,
+		BatchSize:       10,
+		Mu:              0,
+		Straggler:       DropStragglers,
+		Sampling:        UniformWeightedAvg,
+		Seed:            7,
+	}
+}
+
+// FedProx returns a configuration implementing Algorithm 2 with the given
+// proximal coefficient: partial work aggregated, SGD local solver.
+func FedProx(rounds, clients, epochs int, lr, mu float64) Config {
+	c := FedAvg(rounds, clients, epochs, lr)
+	c.Mu = mu
+	c.Straggler = AggregatePartial
+	return c
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+)
+
+// Env is the simulated federated environment: which devices are selected
+// each round, which of them straggle and with what epoch budget, and the
+// mini-batch order each device uses.
+//
+// Every draw is a pure function of (Config.Seed, round, device), so two
+// methods compared under the same seed face identical environments — the
+// paper's "fix the randomly selected devices, the stragglers, and
+// mini-batch orders across all runs" protocol. Env is exported so
+// baselines outside this package (e.g. internal/feddane) can run inside
+// the identical environment.
+type Env struct {
+	cfg     Config
+	fed     *data.Federated
+	weights []float64
+
+	selRoot   *frand.Source
+	stragRoot *frand.Source
+	batchRoot *frand.Source
+	initRng   *frand.Source
+}
+
+// NewEnv builds the environment for one (dataset, config) pair.
+func NewEnv(fed *data.Federated, cfg Config) *Env {
+	root := frand.New(cfg.Seed)
+	return &Env{
+		cfg:       cfg.withDefaults(),
+		fed:       fed,
+		weights:   fed.Weights(),
+		selRoot:   root.Split("selection"),
+		stragRoot: root.Split("stragglers"),
+		batchRoot: root.Split("batches"),
+		initRng:   root.Split("init"),
+	}
+}
+
+// InitRNG returns the stream used to initialize model parameters, shared
+// by all methods under the same seed (same w⁰ for every compared run).
+func (e *Env) InitRNG() *frand.Source { return e.initRng.Split("params") }
+
+// SelectDevices returns the K device indices participating in the given
+// round under the configured sampling scheme.
+func (e *Env) SelectDevices(round int) []int {
+	k := e.cfg.ClientsPerRound
+	if k > e.fed.NumDevices() {
+		k = e.fed.NumDevices()
+	}
+	rng := e.selRoot.SplitIndex(round)
+	switch e.cfg.Sampling {
+	case WeightedSimpleAvg:
+		return rng.WeightedChoice(e.weights, k)
+	default:
+		return rng.Choice(e.fed.NumDevices(), k)
+	}
+}
+
+// StragglerPlan returns, for each selected device, its epoch budget and
+// whether it was a straggler this round.
+//
+// With the default model, a StragglerFraction of the selected devices are
+// designated stragglers and draw a budget uniformly from [1, E]
+// (Section 5.2); everyone else gets the full E epochs. When
+// Config.Capability is set, each device's budget instead comes from its
+// simulated hardware against the round's global clock cycle, and a device
+// straggles exactly when its budget falls short of E.
+func (e *Env) StragglerPlan(round int, selected []int) (epochs []int, straggler []bool) {
+	n := len(selected)
+	epochs = make([]int, n)
+	straggler = make([]bool, n)
+	if e.cfg.Capability != nil {
+		for i, k := range selected {
+			b := e.cfg.Capability.EpochBudget(round, k, e.cfg.LocalEpochs)
+			if b < 0 {
+				b = 0
+			}
+			if b > e.cfg.LocalEpochs {
+				b = e.cfg.LocalEpochs
+			}
+			epochs[i] = b
+			straggler[i] = b < e.cfg.LocalEpochs
+		}
+		return epochs, straggler
+	}
+	for i := range epochs {
+		epochs[i] = e.cfg.LocalEpochs
+	}
+	nStrag := int(e.cfg.StragglerFraction*float64(n) + 0.5)
+	if nStrag == 0 {
+		return epochs, straggler
+	}
+	rng := e.stragRoot.SplitIndex(round)
+	for _, i := range rng.Choice(n, nStrag) {
+		straggler[i] = true
+		epochs[i] = rng.IntRange(1, e.cfg.LocalEpochs)
+	}
+	return epochs, straggler
+}
+
+// BatchRNG returns the mini-batch ordering stream for one device in one
+// round. It depends only on (seed, round, device), never on the method.
+func (e *Env) BatchRNG(round, device int) *frand.Source {
+	return e.batchRoot.SplitIndex(round).SplitIndex(device)
+}
+
+// Weights returns p_k = n_k/n for every device.
+func (e *Env) Weights() []float64 { return e.weights }
+
+// Config returns the environment's configuration (with defaults applied).
+func (e *Env) Config() Config { return e.cfg }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one evaluated round of a run.
+type Point struct {
+	// Round is the communication round index (0 = before any update).
+	Round int
+	// TrainLoss is the global objective f(wᵗ) over all devices.
+	TrainLoss float64
+	// TestAcc is the network-wide test accuracy.
+	TestAcc float64
+	// GradVar is E_k‖∇F_k(w) − ∇f(w)‖² (NaN when not tracked).
+	GradVar float64
+	// B is the B(w) dissimilarity estimate (NaN when not tracked).
+	B float64
+	// Mu is the proximal coefficient in effect at this round.
+	Mu float64
+	// MeanGamma is the mean achieved γ-inexactness across selected devices
+	// (NaN when not tracked).
+	MeanGamma float64
+	// Participants is the number of device updates aggregated this round.
+	Participants int
+	// Cost is the cumulative resource accounting up to this round.
+	Cost Cost
+}
+
+// Cost tracks the resources a run has consumed, cumulatively. It
+// quantifies the paper's systems motivation: dropping stragglers
+// (FedAvg) wastes the computation they performed before the deadline,
+// while FedProx converts the same device work into progress.
+type Cost struct {
+	// UplinkBytes and DownlinkBytes count model transfers: every selected
+	// device downloads wᵗ; only aggregated devices upload a model.
+	UplinkBytes, DownlinkBytes int64
+	// DeviceEpochs is the total local epochs executed across all devices,
+	// including work the server later discarded.
+	DeviceEpochs int
+	// WastedEpochs is the subset of DeviceEpochs whose results were
+	// dropped (straggler updates under DropStragglers).
+	WastedEpochs int
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.UplinkBytes += o.UplinkBytes
+	c.DownlinkBytes += o.DownlinkBytes
+	c.DeviceEpochs += o.DeviceEpochs
+	c.WastedEpochs += o.WastedEpochs
+}
+
+// History is the evaluated trajectory of one run.
+type History struct {
+	// Label names the method, e.g. "FedProx(mu=1)".
+	Label string
+	// Points are in increasing round order.
+	Points []Point
+}
+
+// Final returns the last evaluated point. It panics on an empty history.
+func (h *History) Final() Point {
+	if len(h.Points) == 0 {
+		panic("core: empty history")
+	}
+	return h.Points[len(h.Points)-1]
+}
+
+// Losses returns the training-loss series.
+func (h *History) Losses() []float64 {
+	out := make([]float64, len(h.Points))
+	for i, p := range h.Points {
+		out[i] = p.TrainLoss
+	}
+	return out
+}
+
+// Accuracies returns the test-accuracy series.
+func (h *History) Accuracies() []float64 {
+	out := make([]float64, len(h.Points))
+	for i, p := range h.Points {
+		out[i] = p.TestAcc
+	}
+	return out
+}
+
+// BestAccuracy returns the maximum test accuracy over the run.
+func (h *History) BestAccuracy() float64 {
+	best := 0.0
+	for _, p := range h.Points {
+		if p.TestAcc > best {
+			best = p.TestAcc
+		}
+	}
+	return best
+}
+
+// Converged reports whether the loss series meets the paper's convergence
+// criterion: the difference between two consecutive evaluations drops
+// below tol (the paper uses 1e-4 on consecutive rounds).
+func (h *History) Converged(tol float64) bool {
+	for i := 1; i < len(h.Points); i++ {
+		if math.Abs(h.Points[i].TrainLoss-h.Points[i-1].TrainLoss) < tol {
+			return true
+		}
+	}
+	return false
+}
+
+// Diverged reports whether the loss series meets the paper's divergence
+// criterion: the loss rises by more than rise over a window of win
+// evaluated points (the paper uses f_t − f_{t−10} > 1).
+func (h *History) Diverged(rise float64, win int) bool {
+	for i := win; i < len(h.Points); i++ {
+		if h.Points[i].TrainLoss-h.Points[i-win].TrainLoss > rise {
+			return true
+		}
+	}
+	return false
+}
+
+// SettledAccuracy returns the accuracy the paper's Figure 7 accounting
+// assigns to a run: the accuracy at the first point where the run has
+// converged (|Δloss| < tol), or at the point just before it diverges
+// (loss rise > rise over win evaluations), or at the final round —
+// whichever comes first.
+func (h *History) SettledAccuracy(tol, rise float64, win int) float64 {
+	for i := 1; i < len(h.Points); i++ {
+		if math.Abs(h.Points[i].TrainLoss-h.Points[i-1].TrainLoss) < tol {
+			return h.Points[i].TestAcc
+		}
+		if i >= win && h.Points[i].TrainLoss-h.Points[i-win].TrainLoss > rise {
+			return h.Points[i-win].TestAcc
+		}
+	}
+	return h.Final().TestAcc
+}
+
+// String renders the history as an aligned table of evaluated rounds.
+func (h *History) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", h.Label)
+	fmt.Fprintf(&b, "%6s %12s %9s %12s %8s\n", "round", "train-loss", "test-acc", "grad-var", "mu")
+	for _, p := range h.Points {
+		gv := "-"
+		if !math.IsNaN(p.GradVar) {
+			gv = fmt.Sprintf("%.4g", p.GradVar)
+		}
+		fmt.Fprintf(&b, "%6d %12.4f %9.4f %12s %8.3g\n", p.Round, p.TrainLoss, p.TestAcc, gv, p.Mu)
+	}
+	return b.String()
+}

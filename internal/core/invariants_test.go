@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fedprox/internal/tensor"
+)
+
+// TestAggregateConvexHullProperty: both aggregation schemes produce a
+// convex combination of the device models, so every coordinate of the
+// result lies within the coordinate-wise [min, max] of the inputs.
+func TestAggregateConvexHullProperty(t *testing.T) {
+	f := func(raw [3][4]int16, w1, w2, w3 uint8) bool {
+		params := make([][]float64, 3)
+		for i := range params {
+			params[i] = make([]float64, 4)
+			for j := range params[i] {
+				params[i][j] = float64(raw[i][j]) / 128 // range ~[-256, 256]
+			}
+		}
+		weights := []float64{float64(w1) + 1, float64(w2) + 1, float64(w3) + 1}
+		for _, scheme := range []SamplingScheme{UniformWeightedAvg, WeightedSimpleAvg} {
+			dst := make([]float64, 4)
+			aggregate(dst, updateSet{params: params, weights: weights}, scheme)
+			for j := 0; j < 4; j++ {
+				lo, hi := params[0][j], params[0][j]
+				for _, p := range params[1:] {
+					if p[j] < lo {
+						lo = p[j]
+					}
+					if p[j] > hi {
+						hi = p[j]
+					}
+				}
+				const eps = 1e-9
+				if dst[j] < lo-eps || dst[j] > hi+eps {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggregateSingleUpdateIsIdentity: with one participant both schemes
+// return that participant's model exactly.
+func TestAggregateSingleUpdateIsIdentity(t *testing.T) {
+	p := []float64{1.5, -2, 0.25}
+	for _, scheme := range []SamplingScheme{UniformWeightedAvg, WeightedSimpleAvg} {
+		dst := make([]float64, 3)
+		aggregate(dst, updateSet{params: [][]float64{p}, weights: []float64{7}}, scheme)
+		for j := range p {
+			if dst[j] != p[j] {
+				t.Fatalf("%v: single-update aggregate differs at %d", scheme, j)
+			}
+		}
+	}
+}
+
+// TestWeightedAggregateBiasesTowardHeavy: the n_k-weighted scheme must
+// land closer to the heavier device's model.
+func TestWeightedAggregateBiasesTowardHeavy(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{1, 1}
+	dst := make([]float64, 2)
+	aggregate(dst, updateSet{params: [][]float64{a, b}, weights: []float64{1, 9}}, UniformWeightedAvg)
+	if dst[0] != 0.9 {
+		t.Fatalf("weighted aggregate = %v, want 0.9 toward heavy device", dst)
+	}
+	aggregate(dst, updateSet{params: [][]float64{a, b}, weights: []float64{1, 9}}, WeightedSimpleAvg)
+	if dst[0] != 0.5 {
+		t.Fatalf("simple average = %v, want 0.5", dst)
+	}
+	_ = tensor.Norm2(dst)
+}

@@ -1,0 +1,48 @@
+package core
+
+// muController implements the adaptive-μ heuristic of Section 5.3.2 and
+// Figure 3: "increase μ by 0.1 whenever the loss increases and decrease it
+// by 0.1 whenever the loss decreases for 5 consecutive rounds". μ never
+// goes below zero.
+type muController struct {
+	mu       float64
+	step     float64
+	patience int
+
+	lastLoss   float64
+	haveLoss   bool
+	downStreak int
+}
+
+func newMuController(mu0, step float64, patience int) *muController {
+	return &muController{mu: mu0, step: step, patience: patience}
+}
+
+// Mu returns the coefficient to use for the next round.
+func (c *muController) Mu() float64 { return c.mu }
+
+// Observe feeds the global training loss after a round and updates μ.
+func (c *muController) Observe(loss float64) {
+	if !c.haveLoss {
+		c.lastLoss = loss
+		c.haveLoss = true
+		return
+	}
+	switch {
+	case loss > c.lastLoss:
+		c.mu += c.step
+		c.downStreak = 0
+	case loss < c.lastLoss:
+		c.downStreak++
+		if c.downStreak >= c.patience {
+			c.mu -= c.step
+			if c.mu < 0 {
+				c.mu = 0
+			}
+			c.downStreak = 0
+		}
+	default:
+		// Flat loss: neither streak advances nor μ changes.
+	}
+	c.lastLoss = loss
+}

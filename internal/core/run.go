@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fedprox/internal/data"
+	"fedprox/internal/metrics"
+	"fedprox/internal/model"
+	"fedprox/internal/solver"
+	"fedprox/internal/tensor"
+)
+
+// Run executes one federated optimization run of cfg on (m, fed) and
+// returns the evaluated trajectory.
+func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	env := NewEnv(fed, cfg)
+	w := m.InitParams(env.InitRNG())
+
+	var muc *muController
+	if cfg.AdaptiveMu {
+		muc = newMuController(cfg.Mu, cfg.MuStep, cfg.MuPatience)
+	}
+
+	hist := &History{Label: Label(cfg)}
+	var cost Cost
+	record := func(round int, mu, gamma float64, participants int) {
+		p := Point{
+			Round:        round,
+			TrainLoss:    metrics.GlobalLoss(m, fed, w),
+			TestAcc:      metrics.TestAccuracy(m, fed, w),
+			GradVar:      math.NaN(),
+			B:            math.NaN(),
+			Mu:           mu,
+			MeanGamma:    gamma,
+			Participants: participants,
+			Cost:         cost,
+		}
+		if cfg.TrackDissimilarity {
+			p.GradVar, p.B = metrics.Dissimilarity(m, fed, w)
+		}
+		hist.Points = append(hist.Points, p)
+	}
+
+	startRound := 0
+	if cfg.Checkpointer != nil {
+		next, saved, savedHist, err := cfg.Checkpointer.Load()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint load: %w", err)
+		}
+		if saved != nil {
+			if len(saved) != len(w) {
+				return nil, fmt.Errorf("core: checkpoint has %d params, model has %d", len(saved), len(w))
+			}
+			copy(w, saved)
+			startRound = next
+			if savedHist != nil {
+				hist.Points = append(hist.Points, savedHist.Points...)
+			}
+		}
+	}
+	ckptEvery := cfg.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = cfg.EvalEvery
+	}
+
+	mu0 := cfg.Mu
+	if startRound == 0 {
+		record(0, mu0, math.NaN(), 0)
+	}
+
+	for t := startRound; t < cfg.Rounds; t++ {
+		mu := cfg.Mu
+		if muc != nil {
+			mu = muc.Mu()
+		}
+		updates, gammaMean := runRound(m, fed, env, t, mu, w)
+		cost.Add(updates.cost)
+
+		if len(updates.params) > 0 {
+			aggregate(w, updates, cfg.Sampling)
+		}
+
+		// The adaptive-μ controller observes the loss every round; other
+		// configurations only pay for evaluation on recorded rounds.
+		needEval := (t+1)%cfg.EvalEvery == 0 || t == cfg.Rounds-1
+		if muc != nil {
+			muc.Observe(metrics.GlobalLoss(m, fed, w))
+		}
+		if needEval {
+			record(t+1, mu, gammaMean, len(updates.params))
+		}
+		if cfg.Checkpointer != nil && ((t+1)%ckptEvery == 0 || t == cfg.Rounds-1) {
+			if err := cfg.Checkpointer.Save(t+1, w, hist); err != nil {
+				return nil, fmt.Errorf("core: checkpoint save: %w", err)
+			}
+		}
+	}
+	return hist, nil
+}
+
+// updateSet collects the models returned by one round's participants plus
+// the round's resource accounting.
+type updateSet struct {
+	params  [][]float64
+	weights []float64 // n_k of each participant
+	cost    Cost
+}
+
+// runRound performs the local solves of round t from the broadcast global
+// model wt at proximal coefficient mu and returns the set of updates to
+// aggregate plus the mean achieved γ (NaN unless tracking is enabled).
+func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, wt []float64) (updateSet, float64) {
+	cfg := env.Config()
+	selected := env.SelectDevices(t)
+	epochs, straggler := env.StragglerPlan(t, selected)
+
+	type result struct {
+		w     []float64
+		nk    float64
+		gamma float64
+		ok    bool
+	}
+	results := make([]result, len(selected))
+
+	scfg := solver.Config{
+		LearningRate: cfg.LearningRate,
+		BatchSize:    cfg.BatchSize,
+		Mu:           mu,
+	}
+	local := cfg.Solver
+	if local == nil {
+		local = solver.SGDSolver{}
+	}
+
+	parallelFor(len(selected), cfg.Parallelism, func(i int) {
+		k := selected[i]
+		if cfg.Straggler == DropStragglers && straggler[i] {
+			return // dropped: the server never sees this device's work
+		}
+		shard := fed.Shards[k]
+		// Every device trains from the same broadcast wᵗ; wt is read-only
+		// until all workers in this round finish.
+		wk := local.Solve(m, shard.Train, wt, scfg, epochs[i], env.BatchRNG(t, k))
+		if cfg.Privacy != nil {
+			cfg.Privacy.Apply(wk, wt, t, k)
+		}
+		res := result{w: wk, nk: float64(len(shard.Train)), ok: true}
+		if cfg.TrackGamma {
+			res.gamma = solver.Gamma(m, shard.Train, wk, wt, scfg)
+		}
+		results[i] = res
+	})
+
+	var set updateSet
+	// Resource accounting: every selected device downloads wᵗ and performs
+	// its epoch budget (real devices can't know in advance they'll be
+	// dropped); only aggregated devices upload. Dropped stragglers' epochs
+	// are wasted work — the systems cost of FedAvg's policy.
+	paramBytes := int64(m.NumParams() * 8)
+	for i := range selected {
+		set.cost.DownlinkBytes += paramBytes
+		set.cost.DeviceEpochs += epochs[i]
+		if cfg.Straggler == DropStragglers && straggler[i] {
+			set.cost.WastedEpochs += epochs[i]
+		} else {
+			set.cost.UplinkBytes += paramBytes
+		}
+	}
+	gammaSum, gammaN := 0.0, 0
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		set.params = append(set.params, r.w)
+		set.weights = append(set.weights, r.nk)
+		if cfg.TrackGamma {
+			gammaSum += r.gamma
+			gammaN++
+		}
+	}
+	gamma := math.NaN()
+	if gammaN > 0 {
+		gamma = gammaSum / float64(gammaN)
+	}
+	return set, gamma
+}
+
+// aggregate folds the round's updates into w in place.
+func aggregate(w []float64, set updateSet, scheme SamplingScheme) {
+	switch scheme {
+	case WeightedSimpleAvg:
+		tensor.Mean(w, set.params)
+	default:
+		tensor.WeightedMean(w, set.params, set.weights)
+	}
+}
+
+// parallelFor runs fn(i) for i in [0, n) on at most limit workers
+// (GOMAXPROCS when limit <= 0).
+func parallelFor(n, limit int, fn func(i int)) {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Label renders the conventional method name for a configuration, e.g.
+// "FedAvg" or "FedProx(mu=1)". Non-default local solvers are appended as
+// a suffix, e.g. "FedProx(mu=1)+adam".
+func Label(cfg Config) string {
+	var base string
+	switch {
+	case cfg.AdaptiveMu:
+		base = fmt.Sprintf("FedProx(adaptive mu0=%g)", cfg.Mu)
+	case cfg.Mu == 0 && cfg.Straggler == DropStragglers:
+		base = "FedAvg"
+	case cfg.Mu == 0:
+		base = "FedProx(mu=0)"
+	default:
+		base = fmt.Sprintf("FedProx(mu=%g)", cfg.Mu)
+	}
+	if cfg.Solver != nil && cfg.Solver.Name() != "sgd" {
+		base += "+" + cfg.Solver.Name()
+	}
+	return base
+}

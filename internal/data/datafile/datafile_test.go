@@ -1,0 +1,95 @@
+package datafile
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"fedprox/internal/data"
+	"fedprox/internal/data/synthetic"
+)
+
+func sample() *data.Federated {
+	return synthetic.Generate(synthetic.Default(0.5, 0.5).Scaled(0.12))
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.NumDevices() != want.NumDevices() {
+		t.Fatalf("metadata lost: %s/%d vs %s/%d", got.Name, got.NumDevices(), want.Name, want.NumDevices())
+	}
+	if got.TotalSamples() != want.TotalSamples() {
+		t.Fatal("sample counts differ")
+	}
+	// Spot-check payload equality.
+	a := want.Shards[3].Train[0]
+	b := got.Shards[3].Train[0]
+	if a.Y != b.Y {
+		t.Fatal("labels differ after round trip")
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("features differ after round trip")
+		}
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	want := &data.Federated{
+		Name: "seq", NumClasses: 4, VocabSize: 9, SeqLen: 3,
+		Shards: []*data.Shard{{ID: 0, Train: []data.Example{{Seq: []int{1, 2, 3}, Y: 2}}}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SeqLen != 3 || got.Shards[0].Train[0].Seq[2] != 3 {
+		t.Fatal("sequence payload lost")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &data.Federated{Name: "broken"}); err == nil {
+		t.Fatal("invalid dataset written")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage bytes here"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.fed")
+	want := sample()
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalSamples() != want.TotalSamples() {
+		t.Fatal("file round trip lost samples")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.fed")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

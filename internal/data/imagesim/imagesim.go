@@ -1,0 +1,192 @@
+// Package imagesim generates class-conditional Gaussian "image" datasets
+// with label-skew federated partitions. It is the shared substrate behind
+// the MNIST and FEMNIST surrogates (see DESIGN.md §4 for the substitution
+// argument).
+//
+// Each class c gets a prototype image: a sum of a few smooth 2-D Gaussian
+// blobs on a side×side grid, giving classes distinct but overlapping
+// spatial structure (like digit strokes). An example of class c is the
+// prototype plus pixel noise, clamped to [0, 1]. Devices receive samples
+// from only a small set of classes (2 for MNIST, 5 for FEMNIST), and
+// per-device sample counts follow a power law — the two mechanisms the
+// paper uses to impose statistical heterogeneity on real image data.
+package imagesim
+
+import (
+	"math"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Name labels the resulting dataset ("MNIST", "FEMNIST").
+	Name string
+	// Devices is the number of devices in the network.
+	Devices int
+	// Classes is the number of labels.
+	Classes int
+	// ClassesPerDevice is the label-skew degree: each device only ever sees
+	// this many distinct classes.
+	ClassesPerDevice int
+	// Side is the image side length; FeatureDim = Side².
+	Side int
+	// BlobsPerClass controls prototype complexity.
+	BlobsPerClass int
+	// Noise is the per-pixel Gaussian noise stddev.
+	Noise float64
+	// DeviceSkew scales a per-device smooth "style" field added to every
+	// prototype the device renders — the analogue of per-writer
+	// handwriting style. It makes x|y device-dependent (feature-level
+	// statistical heterogeneity) and keeps the task from being linearly
+	// separable across devices.
+	DeviceSkew float64
+	// StyleBlobs is the number of signed bumps in each device's style
+	// field; 0 selects 3.
+	StyleBlobs int
+	// MinSamples and MaxSamples bound the power-law allocation.
+	MinSamples, MaxSamples int
+	// PowerAlpha is the power-law exponent.
+	PowerAlpha float64
+	// TrainFrac is the per-device train split.
+	TrainFrac float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Scaled returns a copy of c with sample bounds scaled by f (floored at 5).
+func (c Config) Scaled(f float64) Config {
+	c.MinSamples = scaleFloor(c.MinSamples, f, 5)
+	c.MaxSamples = scaleFloor(c.MaxSamples, f, c.MinSamples)
+	return c
+}
+
+func scaleFloor(n int, f float64, floor int) int {
+	v := int(math.Round(float64(n) * f))
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Generate builds the federated dataset described by c.
+func Generate(c Config) *data.Federated {
+	if c.Devices <= 0 || c.Classes <= 1 || c.ClassesPerDevice <= 0 || c.Side <= 1 {
+		panic("imagesim: invalid config")
+	}
+	root := frand.New(c.Seed)
+	protoRng := root.Split("prototypes")
+	sizeRng := root.Split("sizes")
+	assignRng := root.Split("assign")
+	sampleRng := root.Split("samples")
+	splitRng := root.Split("split")
+
+	dim := c.Side * c.Side
+	protos := Prototypes(protoRng, c.Classes, c.Side, c.BlobsPerClass)
+	sizes := data.PowerLawSizes(sizeRng, c.Devices, c.MinSamples, c.MaxSamples, c.PowerAlpha)
+	classSets := data.LabelSkewAssign(assignRng, c.Devices, c.Classes, c.ClassesPerDevice)
+
+	fed := &data.Federated{
+		Name:       c.Name,
+		NumClasses: c.Classes,
+		FeatureDim: dim,
+	}
+	styleRng := root.Split("styles")
+	for k := 0; k < c.Devices; k++ {
+		devRng := sampleRng.SplitIndex(k)
+		classes := classSets[k]
+		var style []float64
+		if c.DeviceSkew > 0 {
+			blobs := c.StyleBlobs
+			if blobs <= 0 {
+				blobs = 3
+			}
+			style = styleField(styleRng.SplitIndex(k), c.Side, blobs)
+		}
+		examples := make([]data.Example, sizes[k])
+		for i := range examples {
+			y := classes[devRng.Intn(len(classes))]
+			x := make([]float64, dim)
+			proto := protos[y]
+			for j := range x {
+				v := proto[j] + devRng.NormMeanStd(0, c.Noise)
+				if style != nil {
+					v += c.DeviceSkew * style[j]
+				}
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				x[j] = v
+			}
+			examples[i] = data.Example{X: x, Y: y}
+		}
+		train, test := data.SplitTrainTest(examples, c.TrainFrac, splitRng.SplitIndex(k))
+		fed.Shards = append(fed.Shards, &data.Shard{ID: k, Train: train, Test: test})
+	}
+	if err := fed.Validate(); err != nil {
+		panic(err)
+	}
+	return fed
+}
+
+// styleField draws a smooth signed field in roughly [−1, 1]: a handful of
+// positive and negative Gaussian bumps, the per-device rendering style.
+func styleField(rng *frand.Source, side, blobs int) []float64 {
+	img := make([]float64, side*side)
+	for b := 0; b < blobs; b++ {
+		cx := rng.Float64() * float64(side-1)
+		cy := rng.Float64() * float64(side-1)
+		w := (0.1 + 0.2*rng.Float64()) * float64(side)
+		amp := 2*rng.Float64() - 1
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				dx := float64(x) - cx
+				dy := float64(y) - cy
+				img[y*side+x] += amp * math.Exp(-(dx*dx+dy*dy)/(2*w*w))
+			}
+		}
+	}
+	return img
+}
+
+// Prototypes builds one prototype image per class: blobs 2-D Gaussian bumps
+// with random centers, widths, and intensities on a side×side grid,
+// normalized to peak at 1.
+func Prototypes(rng *frand.Source, classes, side, blobs int) [][]float64 {
+	out := make([][]float64, classes)
+	for c := 0; c < classes; c++ {
+		crng := rng.SplitIndex(c)
+		img := make([]float64, side*side)
+		for b := 0; b < blobs; b++ {
+			cx := crng.Float64() * float64(side-1)
+			cy := crng.Float64() * float64(side-1)
+			// Width between 8% and 25% of the image side.
+			w := (0.08 + 0.17*crng.Float64()) * float64(side)
+			amp := 0.5 + 0.5*crng.Float64()
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					dx := float64(x) - cx
+					dy := float64(y) - cy
+					img[y*side+x] += amp * math.Exp(-(dx*dx+dy*dy)/(2*w*w))
+				}
+			}
+		}
+		// Normalize to a peak of 1 so noise scale is comparable per class.
+		max := 0.0
+		for _, v := range img {
+			if v > max {
+				max = v
+			}
+		}
+		if max > 0 {
+			for j := range img {
+				img[j] /= max
+			}
+		}
+		out[c] = img
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package sent140sim provides the offline surrogate for the paper's
+// Sent140 workload: binary tweet-sentiment classification with one device
+// per Twitter account (772 devices) and an LSTM over a fixed-length token
+// sequence (Section 5.1, Appendix C.1).
+//
+// Real tweets and pretrained GloVe embeddings are replaced by synthetic
+// token streams: the vocabulary is split into positive-lexicon,
+// negative-lexicon, and neutral tokens; each account has its own topic
+// distribution over neutral tokens (the per-device drift the paper relies
+// on) and its own positivity rate. A tweet's label is the sign of its net
+// lexicon polarity, with token-level noise so the task is learnable but
+// not trivial. Embeddings are learned by the model instead of loaded from
+// GloVe (offline constraint; DESIGN.md §4).
+package sent140sim
+
+import (
+	"math"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Devices is the number of Twitter accounts (paper: 772).
+	Devices int
+	// Vocab is the token vocabulary size.
+	Vocab int
+	// LexiconSize is the number of positive tokens (an equal number are
+	// negative; the rest are neutral).
+	LexiconSize int
+	// SeqLen is the tokens-per-tweet input length (paper: 25).
+	SeqLen int
+	// PolarityRate is the fraction of tokens in a tweet drawn from the
+	// label's lexicon rather than the account's neutral topics.
+	PolarityRate float64
+	// NoiseRate is the fraction of lexicon draws flipped to the opposite
+	// lexicon, bounding achievable accuracy below 100%.
+	NoiseRate float64
+	// TopicConcentration controls per-account topic skew over neutral
+	// tokens: smaller values give spikier, more heterogeneous accounts.
+	TopicConcentration float64
+	// MinSamples and MaxSamples bound per-account tweet counts.
+	MinSamples, MaxSamples int
+	// PowerAlpha is the power-law exponent.
+	PowerAlpha float64
+	// TrainFrac is the per-device train split.
+	TrainFrac float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Default returns the paper-shape configuration: 772 accounts, ~53 tweets
+// per account, 25-token tweets.
+func Default() Config {
+	return Config{
+		Devices:            772,
+		Vocab:              400,
+		LexiconSize:        40,
+		SeqLen:             25,
+		PolarityRate:       0.35,
+		NoiseRate:          0.08,
+		TopicConcentration: 0.3,
+		MinSamples:         25,
+		MaxSamples:         200,
+		PowerAlpha:         2.4,
+		TrainFrac:          0.8,
+		Seed:               4004,
+	}
+}
+
+// Scaled returns a copy of c sized for fast runs: device count and sample
+// bounds scaled by f and sequence length capped at maxSeq (0 keeps SeqLen).
+func (c Config) Scaled(f float64, maxSeq int) Config {
+	c.Devices = scaleFloor(c.Devices, f, 20)
+	c.MinSamples = scaleFloor(c.MinSamples, f, 5)
+	c.MaxSamples = scaleFloor(c.MaxSamples, f, c.MinSamples)
+	if maxSeq > 0 && c.SeqLen > maxSeq {
+		c.SeqLen = maxSeq
+	}
+	return c
+}
+
+func scaleFloor(n int, f float64, floor int) int {
+	v := int(math.Round(float64(n) * f))
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Generate builds the federated dataset described by c.
+func Generate(c Config) *data.Federated {
+	if c.Devices <= 0 || c.Vocab <= 2*c.LexiconSize || c.SeqLen <= 0 {
+		panic("sent140sim: invalid config")
+	}
+	root := frand.New(c.Seed)
+	sizeRng := root.Split("sizes")
+	accountRng := root.Split("accounts")
+	splitRng := root.Split("split")
+
+	sizes := data.PowerLawSizes(sizeRng, c.Devices, c.MinSamples, c.MaxSamples, c.PowerAlpha)
+	neutralLo := 2 * c.LexiconSize // tokens [0,L) positive, [L,2L) negative
+	numNeutral := c.Vocab - neutralLo
+
+	fed := &data.Federated{
+		Name:       "Sent140",
+		NumClasses: 2,
+		VocabSize:  c.Vocab,
+		SeqLen:     c.SeqLen,
+	}
+	for k := 0; k < c.Devices; k++ {
+		arng := accountRng.SplitIndex(k)
+		topics := topicWeights(arng.Split("topics"), numNeutral, c.TopicConcentration)
+		// Account-level class balance in [0.25, 0.75]: accounts lean
+		// positive or negative, another axis of heterogeneity.
+		posRate := 0.25 + 0.5*arng.Float64()
+
+		gen := arng.Split("tweets")
+		examples := make([]data.Example, sizes[k])
+		for i := range examples {
+			y := 0
+			if gen.Bernoulli(posRate) {
+				y = 1
+			}
+			seq := make([]int, c.SeqLen)
+			for t := range seq {
+				if gen.Bernoulli(c.PolarityRate) {
+					lex := y // 1 → positive lexicon, 0 → negative
+					if gen.Bernoulli(c.NoiseRate) {
+						lex = 1 - lex
+					}
+					if lex == 1 {
+						seq[t] = gen.Intn(c.LexiconSize)
+					} else {
+						seq[t] = c.LexiconSize + gen.Intn(c.LexiconSize)
+					}
+				} else {
+					seq[t] = neutralLo + gen.Categorical(topics)
+				}
+			}
+			examples[i] = data.Example{Seq: seq, Y: y}
+		}
+		train, test := data.SplitTrainTest(examples, c.TrainFrac, splitRng.SplitIndex(k))
+		fed.Shards = append(fed.Shards, &data.Shard{ID: k, Train: train, Test: test})
+	}
+	if err := fed.Validate(); err != nil {
+		panic(err)
+	}
+	return fed
+}
+
+// topicWeights draws a spiky categorical distribution over n neutral
+// tokens. Smaller concentration produces spikier (more account-specific)
+// distributions; weights are samples from a symmetric Dirichlet
+// approximated by normalized Gamma(concentration) draws via the
+// Marsaglia-Tsang-free exponential-power trick adequate for simulation.
+func topicWeights(rng *frand.Source, n int, concentration float64) []float64 {
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		// Gamma(a) for small a via Ahrens-Dieter-style transform:
+		// X = U^(1/a) · Exp(1) has the right small-a tail behaviour for
+		// producing spiky normalized weights. Exact Dirichlet sampling is
+		// unnecessary here; only the skew profile matters.
+		u := rng.Float64()
+		e := -math.Log(1 - rng.Float64())
+		w[i] = math.Pow(u, 1/concentration) * e
+		total += w[i]
+	}
+	if total <= 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}

@@ -1,0 +1,85 @@
+package experiments
+
+// Options scales an experiment between bench-friendly miniatures and
+// paper-scale runs. The heterogeneity structure (device counts where
+// feasible, label skew, power-law allocation, straggler simulation) is
+// identical at every scale; only sample volumes, model widths, and round
+// counts change.
+type Options struct {
+	// Scale multiplies per-device sample volumes (and device counts for
+	// the very large networks).
+	Scale float64
+	// Rounds is the communication-round count for convex workloads.
+	Rounds int
+	// SeqRounds is the round count for LSTM workloads (the paper also
+	// runs these for far fewer rounds, e.g. 20 for Shakespeare).
+	SeqRounds int
+	// EvalEvery is the evaluation interval in rounds.
+	EvalEvery int
+	// LocalEpochs is E for the main experiments (paper: 20).
+	LocalEpochs int
+	// ClientsPerRound is K (paper: 10).
+	ClientsPerRound int
+	// Hidden, Embed, Layers size the LSTM workloads.
+	Hidden, Embed, Layers int
+	// MaxSeqLen caps sequence lengths (0 keeps the dataset default).
+	MaxSeqLen int
+	// Datasets optionally restricts the five-dataset experiments to a
+	// subset of {"synthetic", "mnist", "femnist", "shakespeare",
+	// "sent140"}; nil runs all five.
+	Datasets []string
+	// Seed drives every environment draw.
+	Seed uint64
+	// Parallelism bounds concurrent local solves (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Fast returns miniature settings for benchmarks and CI: every experiment
+// finishes in seconds while preserving the comparisons' qualitative shape.
+func Fast() Options {
+	return Options{
+		Scale:           0.15,
+		Rounds:          30,
+		SeqRounds:       6,
+		EvalEvery:       5,
+		LocalEpochs:     20,
+		ClientsPerRound: 10,
+		Hidden:          12,
+		Embed:           6,
+		Layers:          2,
+		MaxSeqLen:       10,
+		Seed:            7,
+	}
+}
+
+// Full returns the settings cmd/fedbench uses by default: paper-scale
+// synthetic suite, moderately scaled real-data surrogates, and small LSTM
+// widths so a full figure regenerates in minutes on a laptop.
+func Full() Options {
+	return Options{
+		Scale:           0.5,
+		Rounds:          200,
+		SeqRounds:       20,
+		EvalEvery:       5,
+		LocalEpochs:     20,
+		ClientsPerRound: 10,
+		Hidden:          32,
+		Embed:           8,
+		Layers:          2,
+		MaxSeqLen:       20,
+		Seed:            7,
+	}
+}
+
+// wantDataset reports whether the named dataset is enabled by o.Datasets.
+func (o Options) wantDataset(name string) bool {
+	if len(o.Datasets) == 0 {
+		return true
+	}
+	for _, d := range o.Datasets {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+package fednet
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/model/linear"
+)
+
+func testWorkload() (*data.Federated, *linear.Model) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	return fed, linear.ForDataset(fed)
+}
+
+// launch starts a coordinator on an ephemeral loopback port and `workers`
+// workers that partition the dataset's shards round-robin. It returns the
+// trajectory.
+func launch(t *testing.T, fed *data.Federated, mdl *linear.Model, cfg core.Config, workers int) (*core.History, error) {
+	t.Helper()
+	srv, err := NewServer(mdl, ServerConfig{Training: cfg, ExpectDevices: fed.NumDevices()})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wi := 0; wi < workers; wi++ {
+		var shards []*data.Shard
+		for k := wi; k < fed.NumDevices(); k += workers {
+			shards = append(shards, fed.Shards[k])
+		}
+		w := NewWorker(mdl, shards, nil)
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			errs[wi] = w.Run(addr)
+		}(wi)
+	}
+	hist, runErr := srv.RunWithListener(ln)
+	wg.Wait()
+	for wi, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", wi, err)
+		}
+	}
+	return hist, runErr
+}
+
+// TestDistributedMatchesSimulator is the package's defining guarantee:
+// a fednet run reproduces the simulator's trajectory bit for bit under
+// the same configuration and seed.
+func TestDistributedMatchesSimulator(t *testing.T) {
+	fed, mdl := testWorkload()
+	cfg := core.FedProx(6, 5, 3, 0.01, 1)
+	cfg.StragglerFraction = 0.5
+	cfg.EvalEvery = 2
+
+	sim, err := core.Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := launch(t, fed, mdl, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Points) != len(dist.Points) {
+		t.Fatalf("point counts differ: sim %d, dist %d", len(sim.Points), len(dist.Points))
+	}
+	for i := range sim.Points {
+		sp, dp := sim.Points[i], dist.Points[i]
+		if sp.TrainLoss != dp.TrainLoss {
+			t.Fatalf("round %d: sim loss %.17g != dist loss %.17g", sp.Round, sp.TrainLoss, dp.TrainLoss)
+		}
+		if sp.TestAcc != dp.TestAcc {
+			t.Fatalf("round %d: sim acc %g != dist acc %g", sp.Round, sp.TestAcc, dp.TestAcc)
+		}
+		if sp.Participants != dp.Participants {
+			t.Fatalf("round %d: participants %d != %d", sp.Round, sp.Participants, dp.Participants)
+		}
+	}
+}
+
+func TestDistributedWeightedSamplingScheme(t *testing.T) {
+	fed, mdl := testWorkload()
+	cfg := core.FedProx(4, 5, 3, 0.01, 0)
+	cfg.Sampling = core.WeightedSimpleAvg
+	cfg.EvalEvery = 2
+
+	sim, err := core.Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := launch(t, fed, mdl, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sim.Points {
+		if sim.Points[i].TrainLoss != dist.Points[i].TrainLoss {
+			t.Fatalf("weighted scheme diverged at point %d", i)
+		}
+	}
+}
+
+func TestDistributedDropsStragglers(t *testing.T) {
+	fed, mdl := testWorkload()
+	cfg := core.FedAvg(3, 10, 5, 0.01)
+	cfg.StragglerFraction = 0.9
+	cfg.EvalEvery = 1
+	dist, err := launch(t, fed, mdl, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dist.Final().Participants; got != 1 {
+		t.Fatalf("participants = %d, want 1 of 10 under 90%% drop", got)
+	}
+	if !strings.HasSuffix(dist.Label, "[fednet]") {
+		t.Fatalf("label %q missing transport marker", dist.Label)
+	}
+}
+
+func TestSingleWorkerHostsEverything(t *testing.T) {
+	fed, mdl := testWorkload()
+	cfg := core.FedProx(3, 5, 2, 0.01, 1)
+	cfg.EvalEvery = 3
+	sim, err := core.Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := launch(t, fed, mdl, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Final().TrainLoss != dist.Final().TrainLoss {
+		t.Fatal("single-worker run diverged from simulator")
+	}
+}
+
+func TestNewServerRejections(t *testing.T) {
+	_, mdl := testWorkload()
+	good := core.FedProx(2, 2, 1, 0.01, 0)
+	cases := []ServerConfig{
+		{Training: core.Config{}, ExpectDevices: 3},
+		{Training: func() core.Config { c := good; c.TrackGamma = true; return c }(), ExpectDevices: 3},
+		{Training: func() core.Config { c := good; c.TrackDissimilarity = true; return c }(), ExpectDevices: 3},
+		{Training: good, ExpectDevices: 0},
+	}
+	for i, sc := range cases {
+		if _, err := NewServer(mdl, sc); err == nil {
+			t.Errorf("case %d: invalid server config accepted", i)
+		}
+	}
+}
+
+func TestWorkerRejectsUnknownDevice(t *testing.T) {
+	fed, mdl := testWorkload()
+	w := NewWorker(mdl, fed.Shards[:1], nil)
+	reply := w.train(&TrainRequest{Device: 999, Params: make([]float64, mdl.NumParams())})
+	if reply.Err == "" {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestWorkerRejectsBadParamLength(t *testing.T) {
+	fed, mdl := testWorkload()
+	w := NewWorker(mdl, fed.Shards[:1], nil)
+	reply := w.train(&TrainRequest{Device: fed.Shards[0].ID, Params: []float64{1, 2}})
+	if reply.Err == "" {
+		t.Fatal("bad parameter length accepted for train")
+	}
+	ev := w.eval(&EvalRequest{Params: []float64{1}})
+	if ev.Err == "" {
+		t.Fatal("bad parameter length accepted for eval")
+	}
+}
+
+func TestNewWorkerPanics(t *testing.T) {
+	_, mdl := testWorkload()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker without shards did not panic")
+		}
+	}()
+	NewWorker(mdl, nil, nil)
+}

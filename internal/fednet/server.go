@@ -1,0 +1,352 @@
+package fednet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+
+	"fedprox/internal/core"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+	"fedprox/internal/tensor"
+)
+
+// ServerConfig parameterizes a coordinator.
+type ServerConfig struct {
+	// Training carries the federated hyperparameters. TrackDissimilarity,
+	// TrackGamma, Capability, and Solver are simulator-only features and
+	// must be unset (workers choose their own local solver).
+	Training core.Config
+	// ExpectDevices is the total number of devices that must register
+	// (across all workers) before training starts. Device IDs must cover
+	// exactly 0..ExpectDevices-1 so the environment streams line up with
+	// the simulator's.
+	ExpectDevices int
+}
+
+// Server is the federated coordinator: it owns the global model
+// parameters and the round schedule, and never sees training data.
+type Server struct {
+	mdl model.Model
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	conns   []*conn
+	devices map[int]*device // device ID -> hosting connection + size
+	evalSeq int
+}
+
+type device struct {
+	conn      *conn
+	trainSize int
+}
+
+// NewServer builds a coordinator for the given model and configuration.
+func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
+	if err := cfg.Training.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Training.TrackDissimilarity || cfg.Training.TrackGamma {
+		return nil, errors.New("fednet: dissimilarity/gamma tracking is simulator-only")
+	}
+	if cfg.Training.Capability != nil {
+		return nil, errors.New("fednet: capability models are simulator-only")
+	}
+	if cfg.Training.Solver != nil {
+		return nil, errors.New("fednet: local solvers are chosen by workers")
+	}
+	if cfg.Training.Checkpointer != nil {
+		return nil, errors.New("fednet: checkpointing is simulator-only")
+	}
+	if cfg.ExpectDevices <= 0 {
+		return nil, errors.New("fednet: ExpectDevices must be positive")
+	}
+	return &Server{
+		mdl:     mdl,
+		cfg:     cfg,
+		devices: make(map[int]*device),
+	}, nil
+}
+
+// Run listens on addr, waits for every device to register, executes the
+// training schedule, shuts the workers down, and returns the trajectory.
+func (s *Server) Run(addr string) (*core.History, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	return s.RunWithListener(ln)
+}
+
+// RunWithListener is Run over a caller-provided listener (tests use an
+// ephemeral loopback listener).
+func (s *Server) RunWithListener(ln net.Listener) (*core.History, error) {
+	if err := s.acceptAll(ln); err != nil {
+		return nil, err
+	}
+	defer s.shutdownWorkers()
+	return s.train()
+}
+
+// acceptAll accepts worker connections until every expected device has
+// registered.
+func (s *Server) acceptAll(ln net.Listener) error {
+	registered := 0
+	for registered < s.cfg.ExpectDevices {
+		raw, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("fednet: accept: %w", err)
+		}
+		c := newConn(raw)
+		env, err := c.recv()
+		if err != nil {
+			return err
+		}
+		if env.Hello == nil {
+			return fmt.Errorf("fednet: expected Hello, got %+v", env)
+		}
+		s.conns = append(s.conns, c)
+		for _, d := range env.Hello.Devices {
+			if d.ID < 0 || d.ID >= s.cfg.ExpectDevices {
+				return fmt.Errorf("fednet: device ID %d outside [0,%d)", d.ID, s.cfg.ExpectDevices)
+			}
+			if _, dup := s.devices[d.ID]; dup {
+				return fmt.Errorf("fednet: device %d registered twice", d.ID)
+			}
+			if d.TrainSize <= 0 {
+				return fmt.Errorf("fednet: device %d has no training data", d.ID)
+			}
+			s.devices[d.ID] = &device{conn: c, trainSize: d.TrainSize}
+			registered++
+		}
+	}
+	return nil
+}
+
+func (s *Server) shutdownWorkers() {
+	for _, c := range s.conns {
+		_ = c.send(Envelope{Shutdown: &Shutdown{}})
+		_ = c.close()
+	}
+}
+
+// train runs the round schedule. The environment streams replicate
+// internal/core.Env exactly so trajectories match the simulator.
+func (s *Server) train() (*core.History, error) {
+	cfg := s.cfg.Training
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	n := s.cfg.ExpectDevices
+	root := frand.New(cfg.Seed)
+	selRoot := root.Split("selection")
+	stragRoot := root.Split("stragglers")
+	batchRoot := root.Split("batches")
+	initRng := root.Split("init").Split("params")
+
+	weights := make([]float64, n)
+	total := 0
+	for id, d := range s.devices {
+		weights[id] = float64(d.trainSize)
+		total += d.trainSize
+	}
+	for i := range weights {
+		weights[i] /= float64(total)
+	}
+
+	w := s.mdl.InitParams(initRng)
+
+	hist := &core.History{Label: core.Label(cfg) + " [fednet]"}
+	record := func(round int, mu float64, participants int) error {
+		loss, acc, err := s.evaluate(w, weights)
+		if err != nil {
+			return err
+		}
+		hist.Points = append(hist.Points, core.Point{
+			Round:        round,
+			TrainLoss:    loss,
+			TestAcc:      acc,
+			GradVar:      math.NaN(),
+			B:            math.NaN(),
+			Mu:           mu,
+			MeanGamma:    math.NaN(),
+			Participants: participants,
+		})
+		return nil
+	}
+	if err := record(0, cfg.Mu, 0); err != nil {
+		return nil, err
+	}
+
+	k := cfg.ClientsPerRound
+	if k > n {
+		k = n
+	}
+	for t := 0; t < cfg.Rounds; t++ {
+		// Selection mirrors core.Env.SelectDevices.
+		rng := selRoot.SplitIndex(t)
+		var selected []int
+		if cfg.Sampling == core.WeightedSimpleAvg {
+			selected = rng.WeightedChoice(weights, k)
+		} else {
+			selected = rng.Choice(n, k)
+		}
+		// Straggler plan mirrors core.Env.StragglerPlan.
+		epochs := make([]int, len(selected))
+		straggler := make([]bool, len(selected))
+		for i := range epochs {
+			epochs[i] = cfg.LocalEpochs
+		}
+		if nStrag := int(cfg.StragglerFraction*float64(len(selected)) + 0.5); nStrag > 0 {
+			srng := stragRoot.SplitIndex(t)
+			for _, i := range srng.Choice(len(selected), nStrag) {
+				straggler[i] = true
+				epochs[i] = srng.IntRange(1, cfg.LocalEpochs)
+			}
+		}
+
+		type result struct {
+			id     int
+			params []float64
+			nk     float64
+			err    error
+		}
+		results := make([]result, len(selected))
+		var wg sync.WaitGroup
+		batchRound := batchRoot.SplitIndex(t)
+		for i, id := range selected {
+			if cfg.Straggler == core.DropStragglers && straggler[i] {
+				results[i] = result{id: -1}
+				continue
+			}
+			wg.Add(1)
+			go func(i, id, ep int) {
+				defer wg.Done()
+				d := s.devices[id]
+				req := TrainRequest{
+					Round:        t,
+					Device:       id,
+					Params:       w,
+					Epochs:       ep,
+					Mu:           cfg.Mu,
+					LearningRate: cfg.LearningRate,
+					BatchSize:    cfg.BatchSize,
+					BatchSeed:    batchRound.SplitIndex(id).State(),
+				}
+				env, err := s.roundTrip(d.conn, Envelope{TrainRequest: &req})
+				if err != nil {
+					results[i] = result{id: id, err: err}
+					return
+				}
+				reply := env.TrainReply
+				if reply == nil {
+					results[i] = result{id: id, err: fmt.Errorf("fednet: expected TrainReply, got %+v", env)}
+					return
+				}
+				if reply.Err != "" {
+					results[i] = result{id: id, err: errors.New(reply.Err)}
+					return
+				}
+				results[i] = result{id: id, params: reply.Params, nk: float64(d.trainSize)}
+			}(i, id, epochs[i])
+		}
+		wg.Wait()
+
+		var params [][]float64
+		var nks []float64
+		for _, r := range results {
+			if r.id == -1 {
+				continue
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("fednet: round %d device %d: %w", t, r.id, r.err)
+			}
+			params = append(params, r.params)
+			nks = append(nks, r.nk)
+		}
+		if len(params) > 0 {
+			if cfg.Sampling == core.WeightedSimpleAvg {
+				tensor.Mean(w, params)
+			} else {
+				tensor.WeightedMean(w, params, nks)
+			}
+		}
+		if (t+1)%cfg.EvalEvery == 0 || t == cfg.Rounds-1 {
+			if err := record(t+1, cfg.Mu, len(params)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return hist, nil
+}
+
+// roundTrip serializes one request/response exchange on a connection.
+// The connection's send lock plus the strict request/response protocol
+// per device make concurrent exchanges from different devices on the same
+// worker safe only if serialized — the per-conn reply lock does that.
+func (s *Server) roundTrip(c *conn, e Envelope) (Envelope, error) {
+	c.rtMu.Lock()
+	defer c.rtMu.Unlock()
+	if err := c.send(e); err != nil {
+		return Envelope{}, err
+	}
+	return c.recv()
+}
+
+// evaluate gathers distributed metrics and combines them exactly as
+// internal/metrics does (ascending-device weighted sum), so losses match
+// the simulator bit for bit.
+func (s *Server) evaluate(w []float64, weights []float64) (loss, acc float64, err error) {
+	s.evalSeq++
+	seq := s.evalSeq
+	type shardEval struct {
+		evals []DeviceEval
+		err   error
+	}
+	out := make([]shardEval, len(s.conns))
+	var wg sync.WaitGroup
+	for i, c := range s.conns {
+		wg.Add(1)
+		go func(i int, c *conn) {
+			defer wg.Done()
+			env, err := s.roundTrip(c, Envelope{EvalRequest: &EvalRequest{Seq: seq, Params: w}})
+			if err != nil {
+				out[i] = shardEval{err: err}
+				return
+			}
+			if env.EvalReply == nil {
+				out[i] = shardEval{err: fmt.Errorf("fednet: expected EvalReply, got %+v", env)}
+				return
+			}
+			if env.EvalReply.Err != "" {
+				out[i] = shardEval{err: errors.New(env.EvalReply.Err)}
+				return
+			}
+			out[i] = shardEval{evals: env.EvalReply.Devices}
+		}(i, c)
+	}
+	wg.Wait()
+
+	var all []DeviceEval
+	for _, o := range out {
+		if o.err != nil {
+			return 0, 0, o.err
+		}
+		all = append(all, o.evals...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Device < all[j].Device })
+	correct, testN := 0, 0
+	for _, ev := range all {
+		loss += weights[ev.Device] * ev.TrainLoss
+		correct += ev.Correct
+		testN += ev.TestN
+	}
+	if testN > 0 {
+		acc = float64(correct) / float64(testN)
+	}
+	return loss, acc, nil
+}

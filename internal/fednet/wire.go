@@ -1,0 +1,139 @@
+// Package fednet runs FedProx over real network connections: a
+// coordinator (Server) that owns only the global model, and workers that
+// own the data — the deployment shape federated learning actually has,
+// where raw examples never leave the device.
+//
+// The protocol is length-unframed gob over TCP. Each worker registers the
+// devices (shards) it hosts; every round the coordinator selects devices,
+// ships the global parameters with the round's subproblem hyperparameters
+// and a batch-order seed, and aggregates the returned models. Evaluation
+// is also distributed: workers report per-device loss and accuracy sums
+// and the coordinator combines them, so the server never touches data.
+//
+// The environment streams (selection, stragglers, batch order, init)
+// mirror internal/core exactly, so a fednet run with the same seed and
+// configuration reproduces the simulator's trajectory bit for bit — the
+// equivalence test in server_test.go asserts this.
+package fednet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// DeviceInfo describes one shard a worker hosts.
+type DeviceInfo struct {
+	// ID is the global device index (shard ID).
+	ID int
+	// TrainSize is n_k, used for sampling weights and aggregation.
+	TrainSize int
+}
+
+// Hello is the worker's registration message.
+type Hello struct {
+	// Devices lists every shard this worker hosts.
+	Devices []DeviceInfo
+}
+
+// TrainRequest asks a worker to run one local solve.
+type TrainRequest struct {
+	// Round is the communication round index.
+	Round int
+	// Device is the shard to train on.
+	Device int
+	// Params is the broadcast global model wᵗ.
+	Params []float64
+	// Epochs is the device's epoch budget for this round.
+	Epochs int
+	// Mu, LearningRate, BatchSize parameterize the local subproblem.
+	Mu           float64
+	LearningRate float64
+	BatchSize    int
+	// BatchSeed is the state of the device's batch-order stream.
+	BatchSeed uint64
+}
+
+// TrainReply returns the local solution.
+type TrainReply struct {
+	Round  int
+	Device int
+	Params []float64
+	// Err carries a worker-side failure description ("" on success).
+	Err string
+}
+
+// EvalRequest asks a worker to evaluate the global model on every shard
+// it hosts.
+type EvalRequest struct {
+	// Seq matches replies to requests.
+	Seq    int
+	Params []float64
+}
+
+// DeviceEval is one shard's contribution to the global metrics.
+type DeviceEval struct {
+	Device    int
+	TrainLoss float64 // mean loss over the local training set
+	TrainN    int
+	Correct   int // correct test predictions
+	TestN     int
+}
+
+// EvalReply returns per-device metric contributions.
+type EvalReply struct {
+	Seq     int
+	Devices []DeviceEval
+	Err     string
+}
+
+// Shutdown tells a worker to exit its serve loop.
+type Shutdown struct{}
+
+// Envelope is the single wire type; exactly one field is non-nil.
+type Envelope struct {
+	Hello        *Hello
+	TrainRequest *TrainRequest
+	TrainReply   *TrainReply
+	EvalRequest  *EvalRequest
+	EvalReply    *EvalReply
+	Shutdown     *Shutdown
+}
+
+// conn wraps a net.Conn with gob codecs and two locks: mu guards the
+// encoder for interleaved sends, and rtMu serializes whole
+// request/response exchanges so multiple device goroutines can share one
+// worker connection.
+type conn struct {
+	raw  net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex // guards enc
+	rtMu sync.Mutex // serializes request/response round-trips
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) send(e Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&e); err != nil {
+		return fmt.Errorf("fednet: send: %w", err)
+	}
+	return nil
+}
+
+// recv decodes the next envelope. Callers own sequencing: the protocol is
+// strictly request/response per connection from the coordinator's side.
+func (c *conn) recv() (Envelope, error) {
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return Envelope{}, fmt.Errorf("fednet: recv: %w", err)
+	}
+	return e, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }

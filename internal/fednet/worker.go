@@ -1,0 +1,132 @@
+package fednet
+
+import (
+	"fmt"
+	"net"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+	"fedprox/internal/solver"
+)
+
+// Worker hosts a set of device shards and serves training and evaluation
+// requests from a coordinator. Raw examples never leave the worker.
+type Worker struct {
+	mdl    model.Model
+	shards map[int]*data.Shard
+	local  solver.LocalSolver
+}
+
+// NewWorker builds a worker hosting the given shards. A nil localSolver
+// selects mini-batch SGD.
+func NewWorker(mdl model.Model, shards []*data.Shard, localSolver solver.LocalSolver) *Worker {
+	if mdl == nil || len(shards) == 0 {
+		panic("fednet: worker needs a model and at least one shard")
+	}
+	if localSolver == nil {
+		localSolver = solver.SGDSolver{}
+	}
+	byID := make(map[int]*data.Shard, len(shards))
+	for _, s := range shards {
+		byID[s.ID] = s
+	}
+	w := &Worker{mdl: mdl, shards: byID, local: localSolver}
+	return w
+}
+
+// Run connects to the coordinator at addr, registers, and serves until
+// the coordinator sends Shutdown or the connection drops.
+func (w *Worker) Run(addr string) error {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fednet: dial %s: %w", addr, err)
+	}
+	c := newConn(raw)
+	defer c.close()
+	return w.Serve(c)
+}
+
+// ServeConn serves an already-established connection (used by in-process
+// tests and custom transports).
+func (w *Worker) ServeConn(raw net.Conn) error {
+	c := newConn(raw)
+	defer c.close()
+	return w.Serve(c)
+}
+
+// Serve registers over c and processes requests until Shutdown.
+func (w *Worker) Serve(c *conn) error {
+	hello := Hello{}
+	for id, s := range w.shards {
+		hello.Devices = append(hello.Devices, DeviceInfo{ID: id, TrainSize: len(s.Train)})
+	}
+	if err := c.send(Envelope{Hello: &hello}); err != nil {
+		return err
+	}
+	for {
+		env, err := c.recv()
+		if err != nil {
+			return err
+		}
+		switch {
+		case env.TrainRequest != nil:
+			reply := w.train(env.TrainRequest)
+			if err := c.send(Envelope{TrainReply: &reply}); err != nil {
+				return err
+			}
+		case env.EvalRequest != nil:
+			reply := w.eval(env.EvalRequest)
+			if err := c.send(Envelope{EvalReply: &reply}); err != nil {
+				return err
+			}
+		case env.Shutdown != nil:
+			return nil
+		default:
+			return fmt.Errorf("fednet: worker received unexpected envelope %+v", env)
+		}
+	}
+}
+
+func (w *Worker) train(req *TrainRequest) TrainReply {
+	reply := TrainReply{Round: req.Round, Device: req.Device}
+	shard, ok := w.shards[req.Device]
+	if !ok {
+		reply.Err = fmt.Sprintf("device %d not hosted here", req.Device)
+		return reply
+	}
+	if len(req.Params) != w.mdl.NumParams() {
+		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(req.Params), w.mdl.NumParams())
+		return reply
+	}
+	cfg := solver.Config{
+		LearningRate: req.LearningRate,
+		BatchSize:    req.BatchSize,
+		Mu:           req.Mu,
+	}
+	reply.Params = w.local.Solve(w.mdl, shard.Train, req.Params, cfg, req.Epochs, frand.New(req.BatchSeed))
+	return reply
+}
+
+func (w *Worker) eval(req *EvalRequest) EvalReply {
+	reply := EvalReply{Seq: req.Seq}
+	if len(req.Params) != w.mdl.NumParams() {
+		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(req.Params), w.mdl.NumParams())
+		return reply
+	}
+	for id, s := range w.shards {
+		ev := DeviceEval{
+			Device:    id,
+			TrainLoss: w.mdl.Loss(req.Params, s.Train),
+			TrainN:    len(s.Train),
+			TestN:     len(s.Test),
+		}
+		for _, ex := range s.Test {
+			if w.mdl.Predict(req.Params, ex) == ex.Y {
+				ev.Correct++
+			}
+		}
+		reply.Devices = append(reply.Devices, ev)
+	}
+	return reply
+}

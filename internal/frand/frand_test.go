@@ -1,0 +1,360 @@
+package frand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	root := New(7)
+	a1 := root.Split("alpha")
+	a2 := New(7).Split("alpha")
+	if a1.Uint64() != a2.Uint64() {
+		t.Fatal("Split is not deterministic")
+	}
+	b := root.Split("beta")
+	if root.Split("alpha").Uint64() == b.Uint64() {
+		t.Fatal("distinct labels produced identical streams")
+	}
+	// Splitting must not advance the parent.
+	before := New(7)
+	_ = before.Split("x")
+	after := New(7)
+	if before.Uint64() != after.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestSplitIndexDistinct(t *testing.T) {
+	root := New(5)
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		v := root.SplitIndex(i).Uint64()
+		if seen[v] {
+			t.Fatalf("SplitIndex(%d) collided", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	f := func(skip uint8) bool {
+		for i := 0; i < int(skip); i++ {
+			s.Uint64()
+		}
+		v := s.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %g, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Fatalf("uniform variance = %g, want ~%g", variance, 1.0/12)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %g, want ~1", variance)
+	}
+}
+
+func TestNormMeanStd(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.NormMeanStd(3, 0.5)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.02 {
+		t.Fatalf("mean = %g, want ~3", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(19)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	s := New(23)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(1, 20)
+		if v < 1 || v > 20 {
+			t.Fatalf("IntRange(1,20) = %d", v)
+		}
+		seen[v] = true
+	}
+	if !seen[1] || !seen[20] {
+		t.Fatal("IntRange never produced an endpoint in 1000 draws")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := s.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceDistinct(t *testing.T) {
+	s := New(31)
+	f := func(a, b uint8) bool {
+		n := int(a%40) + 1
+		k := int(b) % (n + 1)
+		c := s.Choice(n, k)
+		if len(c) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range c {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceUniform(t *testing.T) {
+	s := New(37)
+	counts := make([]int, 10)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range s.Choice(10, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("index %d chosen %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestWeightedChoiceBias(t *testing.T) {
+	s := New(41)
+	weights := []float64{1, 2, 4, 8}
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[s.WeightedChoice(weights, 1)[0]]++
+	}
+	// Heavier indices must be drawn strictly more often, roughly in ratio.
+	for i := 1; i < 4; i++ {
+		if counts[i] <= counts[i-1] {
+			t.Fatalf("weighted counts not increasing: %v", counts)
+		}
+	}
+	ratio := float64(counts[3]) / float64(counts[0])
+	if ratio < 6 || ratio > 10 {
+		t.Fatalf("weight-8/weight-1 ratio = %g, want ~8", ratio)
+	}
+}
+
+func TestWeightedChoiceDistinct(t *testing.T) {
+	s := New(43)
+	weights := []float64{5, 1, 1, 1, 1}
+	for i := 0; i < 500; i++ {
+		c := s.WeightedChoice(weights, 5)
+		seen := map[int]bool{}
+		for _, v := range c {
+			if seen[v] {
+				t.Fatalf("duplicate in without-replacement draw: %v", c)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	cases := []struct {
+		w []float64
+		k int
+	}{
+		{[]float64{1, 2}, 3},
+		{[]float64{1, -1}, 1},
+		{[]float64{0, 0}, 1},
+	}
+	for i, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			New(1).WeightedChoice(tc.w, tc.k)
+		}()
+	}
+}
+
+func TestPowerLawBounds(t *testing.T) {
+	s := New(47)
+	f := func(seed uint16) bool {
+		v := s.PowerLaw(10, 500, 1.5)
+		return v >= 10 && v <= 500
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	s := New(53)
+	const n = 50000
+	small, large := 0, 0
+	for i := 0; i < n; i++ {
+		v := s.PowerLaw(10, 1000, 2.0)
+		if v < 50 {
+			small++
+		}
+		if v > 500 {
+			large++
+		}
+	}
+	if small < 10*large {
+		t.Fatalf("power law not heavy near the minimum: small=%d large=%d", small, large)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(59)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %g", rate)
+	}
+}
+
+func TestCategoricalBias(t *testing.T) {
+	s := New(61)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[s.Categorical([]float64{1, 1, 2})]++
+	}
+	if counts[2] < counts[0] || counts[2] < counts[1] {
+		t.Fatalf("categorical ignored weights: %v", counts)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for i, w := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(67)
+	p := []int{1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(p)
+	sum := 0
+	for _, v := range p {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle changed elements: %v", p)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Norm()
+	}
+}

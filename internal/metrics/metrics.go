@@ -1,0 +1,180 @@
+// Package metrics evaluates the quantities the paper reports: the global
+// objective f(w) (training loss), testing accuracy, and the gradient-
+// variance dissimilarity measure that tracks the B-local dissimilarity of
+// Definition 3.
+//
+// All quantities are exact sums over every device in the network (not just
+// the sampled subset), matching "we report all metrics based on the global
+// objective f(w)" (Section 5.1). Evaluation fans out across shards with a
+// bounded worker pool because it is by far the most expensive part of a
+// simulated round.
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"fedprox/internal/data"
+	"fedprox/internal/model"
+	"fedprox/internal/tensor"
+)
+
+// GlobalLoss returns f(w) = Σ_k p_k F_k(w) with p_k = n_k/n over local
+// training sets.
+func GlobalLoss(m model.Model, fed *data.Federated, w []float64) float64 {
+	weights := fed.Weights()
+	losses := make([]float64, len(fed.Shards))
+	forEachShard(len(fed.Shards), func(k int) {
+		losses[k] = m.Loss(w, fed.Shards[k].Train)
+	})
+	total := 0.0
+	for k, l := range losses {
+		total += weights[k] * l
+	}
+	return total
+}
+
+// TestAccuracy returns the network-wide test accuracy: total correct
+// predictions over total test examples across every device.
+func TestAccuracy(m model.Model, fed *data.Federated, w []float64) float64 {
+	correct := make([]int, len(fed.Shards))
+	counts := make([]int, len(fed.Shards))
+	forEachShard(len(fed.Shards), func(k int) {
+		s := fed.Shards[k]
+		for _, ex := range s.Test {
+			if m.Predict(w, ex) == ex.Y {
+				correct[k]++
+			}
+		}
+		counts[k] = len(s.Test)
+	})
+	c, n := 0, 0
+	for k := range correct {
+		c += correct[k]
+		n += counts[k]
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(c) / float64(n)
+}
+
+// PerClassAccuracy returns test accuracy broken down by true label, plus
+// per-class test counts. It is the instrument for the paper's bias claim:
+// dropping stragglers "may induce bias in the device sampling procedure if
+// the dropped devices have specific data characteristics" (Section 2) —
+// visible as depressed accuracy on exactly the classes the dropped
+// devices hold.
+func PerClassAccuracy(m model.Model, fed *data.Federated, w []float64) (acc []float64, counts []int) {
+	classes := fed.NumClasses
+	correct := make([][]int, len(fed.Shards))
+	total := make([][]int, len(fed.Shards))
+	forEachShard(len(fed.Shards), func(k int) {
+		c := make([]int, classes)
+		n := make([]int, classes)
+		for _, ex := range fed.Shards[k].Test {
+			n[ex.Y]++
+			if m.Predict(w, ex) == ex.Y {
+				c[ex.Y]++
+			}
+		}
+		correct[k], total[k] = c, n
+	})
+	acc = make([]float64, classes)
+	counts = make([]int, classes)
+	sums := make([]int, classes)
+	for k := range correct {
+		for c := 0; c < classes; c++ {
+			sums[c] += correct[k][c]
+			counts[c] += total[k][c]
+		}
+	}
+	for c := 0; c < classes; c++ {
+		if counts[c] > 0 {
+			acc[c] = float64(sums[c]) / float64(counts[c])
+		}
+	}
+	return acc, counts
+}
+
+// GradVariance returns the empirical dissimilarity measure the paper plots
+// (Figures 2, 6, 8, 12):
+//
+//	E_k ‖∇F_k(w) − ∇f(w)‖²  with E_k weighted by p_k = n_k/n,
+//
+// which lower-bounds the B-dissimilarity via Corollary 10.
+func GradVariance(m model.Model, fed *data.Federated, w []float64) float64 {
+	v, _ := Dissimilarity(m, fed, w)
+	return v
+}
+
+// Dissimilarity returns the gradient variance E_k‖∇F_k(w) − ∇f(w)‖² and
+// the B(w) estimate of Definition 3,
+//
+//	B(w) = sqrt( E_k‖∇F_k(w)‖² / ‖∇f(w)‖² ),
+//
+// with B(w) defined as 1 at points where the two coincide (the paper's
+// stationarity convention) and 0 reported when ‖∇f(w)‖ is numerically
+// zero without agreement.
+func Dissimilarity(m model.Model, fed *data.Federated, w []float64) (variance, b float64) {
+	weights := fed.Weights()
+	n := len(fed.Shards)
+	grads := make([][]float64, n)
+	forEachShard(n, func(k int) {
+		g := make([]float64, m.NumParams())
+		m.Grad(g, w, fed.Shards[k].Train)
+		grads[k] = g
+	})
+	// ∇f(w) = Σ p_k ∇F_k(w).
+	gf := make([]float64, m.NumParams())
+	for k, g := range grads {
+		tensor.Axpy(weights[k], g, gf)
+	}
+	normF2 := tensor.Dot(gf, gf)
+	exp2 := 0.0 // E_k‖∇F_k‖²
+	for k, g := range grads {
+		exp2 += weights[k] * tensor.Dot(g, g)
+		variance += weights[k] * tensor.SqDist(g, gf)
+	}
+	const eps = 1e-18
+	switch {
+	case exp2-normF2 < eps && normF2 < eps:
+		b = 1 // stationary point all devices agree on
+	case normF2 < eps:
+		b = 0 // undefined; report 0 rather than +Inf
+	default:
+		b = math.Sqrt(exp2 / normF2)
+	}
+	return variance, b
+}
+
+// forEachShard runs fn(k) for k in [0, n) on a bounded worker pool.
+func forEachShard(n int, fn func(k int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				fn(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model/linear"
+)
+
+// identicalShards builds a network whose devices all hold the same data,
+// the B(w) = 1 sanity case from Definition 3.
+func identicalShards(devices int) *data.Federated {
+	rng := frand.New(21)
+	base := make([]data.Example, 30)
+	for i := range base {
+		x := rng.NormVec(make([]float64, 4), 0, 1)
+		y := 0
+		if x[0] > 0 {
+			y = 1
+		}
+		base[i] = data.Example{X: x, Y: y}
+	}
+	fed := &data.Federated{Name: "identical", NumClasses: 2, FeatureDim: 4}
+	for d := 0; d < devices; d++ {
+		fed.Shards = append(fed.Shards, &data.Shard{ID: d, Train: base, Test: base[:5]})
+	}
+	return fed
+}
+
+func skewedShards() *data.Federated {
+	rng := frand.New(23)
+	fed := &data.Federated{Name: "skewed", NumClasses: 2, FeatureDim: 4}
+	for d := 0; d < 6; d++ {
+		exs := make([]data.Example, 20)
+		for i := range exs {
+			x := rng.NormVec(make([]float64, 4), float64(d), 1)
+			exs[i] = data.Example{X: x, Y: d % 2}
+		}
+		fed.Shards = append(fed.Shards, &data.Shard{ID: d, Train: exs, Test: exs[:4]})
+	}
+	return fed
+}
+
+func TestGlobalLossWeighted(t *testing.T) {
+	fed := identicalShards(4)
+	m := linear.ForDataset(fed)
+	w := make([]float64, m.NumParams())
+	// All shards identical ⇒ global loss equals any single shard's loss.
+	want := m.Loss(w, fed.Shards[0].Train)
+	if got := GlobalLoss(m, fed, w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GlobalLoss = %g, want %g", got, want)
+	}
+}
+
+func TestGlobalLossRespectsWeights(t *testing.T) {
+	// Two devices with different sizes: the larger must dominate.
+	rng := frand.New(25)
+	mk := func(n int, mean float64, y int) []data.Example {
+		out := make([]data.Example, n)
+		for i := range out {
+			out[i] = data.Example{X: rng.NormVec(make([]float64, 2), mean, 0.1), Y: y}
+		}
+		return out
+	}
+	fed := &data.Federated{Name: "two", NumClasses: 2, FeatureDim: 2}
+	fed.Shards = append(fed.Shards,
+		&data.Shard{ID: 0, Train: mk(90, 1, 0), Test: mk(2, 1, 0)},
+		&data.Shard{ID: 1, Train: mk(10, -1, 1), Test: mk(2, -1, 1)},
+	)
+	m := linear.ForDataset(fed)
+	w := make([]float64, m.NumParams())
+	l0 := m.Loss(w, fed.Shards[0].Train)
+	l1 := m.Loss(w, fed.Shards[1].Train)
+	want := 0.9*l0 + 0.1*l1
+	if got := GlobalLoss(m, fed, w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GlobalLoss = %g, want %g", got, want)
+	}
+}
+
+func TestTestAccuracyPerfectAndZero(t *testing.T) {
+	fed := identicalShards(3)
+	m := linear.ForDataset(fed)
+	// Weights that implement "predict 1 iff x0 > 0" exactly: class-1 row
+	// gets +x0 weight.
+	w := make([]float64, m.NumParams())
+	w[4] = 100 // W[1][0]
+	acc := TestAccuracy(m, fed, w)
+	if acc < 0.99 {
+		t.Fatalf("constructed classifier accuracy = %g, want ~1", acc)
+	}
+	// Inverted classifier: accuracy ~0.
+	w[4] = -100
+	if acc := TestAccuracy(m, fed, w); acc > 0.01 {
+		t.Fatalf("inverted classifier accuracy = %g, want ~0", acc)
+	}
+}
+
+func TestTestAccuracyEmptyNetwork(t *testing.T) {
+	fed := &data.Federated{Name: "e", NumClasses: 2, FeatureDim: 1,
+		Shards: []*data.Shard{{Train: []data.Example{{X: []float64{1}, Y: 0}}}}}
+	m := linear.ForDataset(fed)
+	if acc := TestAccuracy(m, fed, make([]float64, m.NumParams())); acc != 0 {
+		t.Fatalf("accuracy with no test data = %g, want 0", acc)
+	}
+}
+
+func TestDissimilarityIdenticalDevices(t *testing.T) {
+	fed := identicalShards(5)
+	m := linear.ForDataset(fed)
+	rng := frand.New(27)
+	w := rng.NormVec(make([]float64, m.NumParams()), 0, 0.5)
+	variance, b := Dissimilarity(m, fed, w)
+	if variance > 1e-18 {
+		t.Fatalf("identical devices have gradient variance %g, want 0", variance)
+	}
+	if math.Abs(b-1) > 1e-6 {
+		t.Fatalf("identical devices B(w) = %g, want 1", b)
+	}
+}
+
+func TestDissimilarityGrowsWithSkew(t *testing.T) {
+	fed := skewedShards()
+	m := linear.ForDataset(fed)
+	rng := frand.New(29)
+	w := rng.NormVec(make([]float64, m.NumParams()), 0, 0.5)
+	vSkew, bSkew := Dissimilarity(m, fed, w)
+	if vSkew <= 0 {
+		t.Fatalf("skewed variance = %g, want > 0", vSkew)
+	}
+	if bSkew < 1 {
+		t.Fatalf("B(w) = %g, want >= 1", bSkew)
+	}
+}
+
+func TestGradVarianceMatchesDissimilarity(t *testing.T) {
+	fed := skewedShards()
+	m := linear.ForDataset(fed)
+	w := make([]float64, m.NumParams())
+	v1 := GradVariance(m, fed, w)
+	v2, _ := Dissimilarity(m, fed, w)
+	if v1 != v2 {
+		t.Fatalf("GradVariance %g != Dissimilarity variance %g", v1, v2)
+	}
+}
+
+// TestVarianceIdentity checks E‖∇F_k − ∇f‖² = E‖∇F_k‖² − ‖∇f‖², the
+// identity behind Corollary 10, holds for the implementation.
+func TestVarianceIdentity(t *testing.T) {
+	fed := skewedShards()
+	m := linear.ForDataset(fed)
+	rng := frand.New(31)
+	w := rng.NormVec(make([]float64, m.NumParams()), 0, 0.3)
+	variance, b := Dissimilarity(m, fed, w)
+
+	// Recompute the two sides by hand.
+	weights := fed.Weights()
+	gf := make([]float64, m.NumParams())
+	exp2 := 0.0
+	grads := make([][]float64, len(fed.Shards))
+	for k, s := range fed.Shards {
+		g := make([]float64, m.NumParams())
+		m.Grad(g, w, s.Train)
+		grads[k] = g
+		for i := range gf {
+			gf[i] += weights[k] * g[i]
+		}
+	}
+	normF2 := 0.0
+	for _, v := range gf {
+		normF2 += v * v
+	}
+	for k, g := range grads {
+		d := 0.0
+		for i := range g {
+			d += g[i] * g[i]
+		}
+		exp2 += weights[k] * d
+	}
+	if math.Abs(variance-(exp2-normF2)) > 1e-9*(1+exp2) {
+		t.Fatalf("variance identity violated: %g vs %g", variance, exp2-normF2)
+	}
+	if wantB := math.Sqrt(exp2 / normF2); math.Abs(b-wantB) > 1e-9 {
+		t.Fatalf("B = %g, want %g", b, wantB)
+	}
+}
+
+func TestForEachShardSmallN(t *testing.T) {
+	// n=1 exercises the sequential path.
+	hit := 0
+	forEachShard(1, func(k int) { hit++ })
+	if hit != 1 {
+		t.Fatalf("forEachShard(1) ran %d times", hit)
+	}
+	// Large n exercises the pool; every index exactly once.
+	var mu = make([]int, 100)
+	forEachShard(100, func(k int) { mu[k]++ })
+	for k, c := range mu {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", k, c)
+		}
+	}
+}

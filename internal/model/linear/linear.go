@@ -1,0 +1,108 @@
+// Package linear implements multinomial logistic regression — the convex
+// workload the paper uses for the synthetic suite, MNIST, and FEMNIST
+// ("we study a convex classification problem ... using multinomial
+// logistic regression", Section 5.1).
+//
+// Parameters are laid out flat as [W row-major (classes×dim) | b
+// (classes)]. The loss is mean softmax cross-entropy; the gradient is the
+// standard (p − onehot(y)) ⊗ x rank-one form.
+package linear
+
+import (
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+	"fedprox/internal/tensor"
+)
+
+// Model is a softmax classifier with dense inputs.
+type Model struct {
+	// Dim is the input feature dimension.
+	Dim int
+	// Classes is the number of labels.
+	Classes int
+}
+
+var _ model.Model = (*Model)(nil)
+
+// New returns a multinomial logistic regression model.
+func New(dim, classes int) *Model {
+	if dim <= 0 || classes <= 1 {
+		panic("linear: invalid shape")
+	}
+	return &Model{Dim: dim, Classes: classes}
+}
+
+// ForDataset returns a model sized for a dense federated dataset.
+func ForDataset(f *data.Federated) *Model {
+	if f.FeatureDim == 0 {
+		panic("linear: dataset is not dense")
+	}
+	return New(f.FeatureDim, f.NumClasses)
+}
+
+// NumParams returns classes·dim + classes.
+func (m *Model) NumParams() int { return m.Classes*m.Dim + m.Classes }
+
+// InitParams returns a zero parameter vector. Zero init is the standard
+// (and convex-optimal-agnostic) choice for logistic regression and matches
+// a shared starting point w⁰ across all methods.
+func (m *Model) InitParams(rng *frand.Source) []float64 {
+	return make([]float64, m.NumParams())
+}
+
+// split returns the weight-matrix and bias views of w.
+func (m *Model) split(w []float64) (tensor.Mat, []float64) {
+	W := tensor.MatView(w[:m.Classes*m.Dim], m.Classes, m.Dim)
+	return W, w[m.Classes*m.Dim:]
+}
+
+// Loss returns mean cross-entropy over the batch.
+func (m *Model) Loss(w []float64, batch []data.Example) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	W, b := m.split(w)
+	logits := make([]float64, m.Classes)
+	total := 0.0
+	for _, ex := range batch {
+		tensor.MatVecAdd(logits, W, ex.X, b)
+		total += tensor.LogSumExp(logits) - logits[ex.Y]
+	}
+	return total / float64(len(batch))
+}
+
+// Grad writes the mean cross-entropy gradient into dst and returns the
+// mean loss.
+func (m *Model) Grad(dst, w []float64, batch []data.Example) float64 {
+	if len(dst) != m.NumParams() {
+		panic("linear: gradient buffer size mismatch")
+	}
+	tensor.Zero(dst)
+	if len(batch) == 0 {
+		return 0
+	}
+	W, b := m.split(w)
+	gW, gb := m.split(dst)
+	logits := make([]float64, m.Classes)
+	probs := make([]float64, m.Classes)
+	total := 0.0
+	inv := 1 / float64(len(batch))
+	for _, ex := range batch {
+		tensor.MatVecAdd(logits, W, ex.X, b)
+		total += tensor.LogSumExp(logits) - logits[ex.Y]
+		tensor.Softmax(probs, logits)
+		probs[ex.Y] -= 1 // p − onehot(y)
+		tensor.AddOuter(gW, inv, probs, ex.X)
+		tensor.Axpy(inv, probs, gb)
+	}
+	return total * inv
+}
+
+// Predict returns argmax over class logits.
+func (m *Model) Predict(w []float64, ex data.Example) int {
+	W, b := m.split(w)
+	logits := make([]float64, m.Classes)
+	tensor.MatVecAdd(logits, W, ex.X, b)
+	return tensor.ArgMax(logits)
+}

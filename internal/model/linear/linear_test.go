@@ -1,0 +1,172 @@
+package linear
+
+import (
+	"math"
+	"testing"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+)
+
+func randBatch(rng *frand.Source, n, dim, classes int) []data.Example {
+	out := make([]data.Example, n)
+	for i := range out {
+		x := rng.NormVec(make([]float64, dim), 0, 1)
+		out[i] = data.Example{X: x, Y: rng.Intn(classes)}
+	}
+	return out
+}
+
+func TestNumParams(t *testing.T) {
+	m := New(60, 10)
+	if got, want := m.NumParams(), 10*60+10; got != want {
+		t.Fatalf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, tc := range []struct{ dim, classes int }{{0, 2}, {-1, 2}, {5, 1}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", tc.dim, tc.classes)
+				}
+			}()
+			New(tc.dim, tc.classes)
+		}()
+	}
+}
+
+func TestInitParamsZero(t *testing.T) {
+	m := New(5, 3)
+	w := m.InitParams(frand.New(1))
+	for i, v := range w {
+		if v != 0 {
+			t.Fatalf("InitParams[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+// TestGradMatchesNumerical verifies the analytic gradient against central
+// finite differences on a random batch.
+func TestGradMatchesNumerical(t *testing.T) {
+	rng := frand.New(7)
+	m := New(6, 4)
+	batch := randBatch(rng, 5, 6, 4)
+	w := rng.NormVec(make([]float64, m.NumParams()), 0, 0.5)
+	grad := make([]float64, m.NumParams())
+	m.Grad(grad, w, batch)
+
+	const h = 1e-6
+	for i := 0; i < m.NumParams(); i++ {
+		orig := w[i]
+		w[i] = orig + h
+		up := m.Loss(w, batch)
+		w[i] = orig - h
+		down := m.Loss(w, batch)
+		w[i] = orig
+		num := (up - down) / (2 * h)
+		if math.Abs(num-grad[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("grad[%d] = %g, numerical %g", i, grad[i], num)
+		}
+	}
+}
+
+func TestGradReturnsLoss(t *testing.T) {
+	rng := frand.New(9)
+	m := New(4, 3)
+	batch := randBatch(rng, 8, 4, 3)
+	w := rng.NormVec(make([]float64, m.NumParams()), 0, 1)
+	grad := make([]float64, m.NumParams())
+	gl := m.Grad(grad, w, batch)
+	l := m.Loss(w, batch)
+	if math.Abs(gl-l) > 1e-12 {
+		t.Fatalf("Grad loss %g != Loss %g", gl, l)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	m := New(4, 3)
+	w := make([]float64, m.NumParams())
+	if l := m.Loss(w, nil); l != 0 {
+		t.Fatalf("Loss(empty) = %g, want 0", l)
+	}
+	grad := make([]float64, m.NumParams())
+	grad[0] = 99
+	if l := m.Grad(grad, w, nil); l != 0 {
+		t.Fatalf("Grad(empty) = %g, want 0", l)
+	}
+	if grad[0] != 0 {
+		t.Fatal("Grad(empty) did not zero the buffer")
+	}
+}
+
+func TestLossAtZeroIsLogClasses(t *testing.T) {
+	rng := frand.New(11)
+	m := New(5, 7)
+	batch := randBatch(rng, 10, 5, 7)
+	w := make([]float64, m.NumParams())
+	want := math.Log(7)
+	if got := m.Loss(w, batch); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Loss at zero = %g, want log(7) = %g", got, want)
+	}
+}
+
+// TestGradientDescentReducesLoss checks that plain GD on a separable batch
+// drives the loss down monotonically (convexity sanity).
+func TestGradientDescentReducesLoss(t *testing.T) {
+	rng := frand.New(13)
+	m := New(3, 2)
+	// Linearly separable: class = sign of first coordinate.
+	var batch []data.Example
+	for i := 0; i < 40; i++ {
+		x := rng.NormVec(make([]float64, 3), 0, 1)
+		y := 0
+		if x[0] > 0 {
+			y = 1
+		}
+		batch = append(batch, data.Example{X: x, Y: y})
+	}
+	w := make([]float64, m.NumParams())
+	grad := make([]float64, m.NumParams())
+	prev := m.Loss(w, batch)
+	for step := 0; step < 50; step++ {
+		m.Grad(grad, w, batch)
+		for i := range w {
+			w[i] -= 0.5 * grad[i]
+		}
+		cur := m.Loss(w, batch)
+		if cur > prev+1e-9 {
+			t.Fatalf("loss increased at step %d: %g -> %g", step, prev, cur)
+		}
+		prev = cur
+	}
+	if acc := model.Accuracy(m, w, batch); acc < 0.95 {
+		t.Fatalf("separable accuracy = %g, want >= 0.95", acc)
+	}
+}
+
+func TestPredictArgmax(t *testing.T) {
+	m := New(2, 3)
+	w := make([]float64, m.NumParams())
+	// W rows: class 0 = [1,0], class 1 = [0,1], class 2 = [0,0].
+	w[0] = 1 // W[0][0]
+	w[3] = 1 // W[1][1]
+	if got := m.Predict(w, data.Example{X: []float64{5, 1}}); got != 0 {
+		t.Fatalf("Predict = %d, want 0", got)
+	}
+	if got := m.Predict(w, data.Example{X: []float64{1, 5}}); got != 1 {
+		t.Fatalf("Predict = %d, want 1", got)
+	}
+}
+
+func TestGradBufferSizePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grad with wrong buffer size did not panic")
+		}
+	}()
+	m.Grad(make([]float64, 3), make([]float64, m.NumParams()), nil)
+}

@@ -1,0 +1,36 @@
+package lstm
+
+import (
+	"sync"
+	"testing"
+
+	"fedprox/internal/frand"
+)
+
+// TestConcurrentGradSafe: the federated core runs one local solve per
+// goroutine against a shared Model value; Grad and Loss must be safe for
+// concurrent use (all state in the call frame). Run with -race to verify.
+func TestConcurrentGradSafe(t *testing.T) {
+	m := smallModel()
+	rng := frand.New(83)
+	w := m.InitParams(rng)
+	batch := randSeqBatch(rng, 4, 6, m.cfg.Vocab, m.cfg.Classes)
+
+	want := m.Loss(w, batch)
+	var wg sync.WaitGroup
+	losses := make([]float64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			grad := make([]float64, m.NumParams())
+			losses[g] = m.Grad(grad, w, batch)
+		}(g)
+	}
+	wg.Wait()
+	for g, l := range losses {
+		if l != want {
+			t.Fatalf("goroutine %d computed loss %g, want %g", g, l, want)
+		}
+	}
+}

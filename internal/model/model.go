@@ -1,0 +1,50 @@
+// Package model defines the interface between learning workloads and the
+// federated optimization core.
+//
+// The paper's framework is model-agnostic: the server and local solvers
+// only ever see a flat parameter vector w, a loss F_k(w), and a gradient
+// ∇F_k(w). Keeping parameters flat makes the three operations the
+// framework is built on trivial and uniform across workloads: server-side
+// averaging of returned models, the proximal penalty (μ/2)·‖w − wᵗ‖², and
+// the dissimilarity metric E_k‖∇F_k(w) − ∇f(w)‖².
+package model
+
+import (
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+)
+
+// Model is a learning workload over flat parameter vectors.
+//
+// Implementations must be stateless with respect to parameters: every
+// method takes w explicitly, so a single Model can be shared by all
+// simulated devices concurrently.
+type Model interface {
+	// NumParams returns the length of the parameter vector.
+	NumParams() int
+	// InitParams returns a freshly initialized parameter vector.
+	InitParams(rng *frand.Source) []float64
+	// Loss returns the mean loss of w over the batch.
+	Loss(w []float64, batch []data.Example) float64
+	// Grad writes the mean gradient of the loss over the batch into dst
+	// (overwriting it) and returns the mean loss. len(dst) must equal
+	// NumParams.
+	Grad(dst, w []float64, batch []data.Example) float64
+	// Predict returns the predicted label for a single example.
+	Predict(w []float64, ex data.Example) int
+}
+
+// Accuracy returns the fraction of examples in batch that m predicts
+// correctly under parameters w. It returns 0 for an empty batch.
+func Accuracy(m Model, w []float64, batch []data.Example) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range batch {
+		if m.Predict(w, ex) == ex.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(batch))
+}

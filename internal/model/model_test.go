@@ -1,0 +1,31 @@
+package model_test
+
+import (
+	"testing"
+
+	"fedprox/internal/data"
+	"fedprox/internal/model"
+	"fedprox/internal/model/linear"
+)
+
+func TestAccuracy(t *testing.T) {
+	m := linear.New(2, 2)
+	w := make([]float64, m.NumParams())
+	w[2] = 10 // class-1 weight on x0: predict 1 iff x0 > 0
+	batch := []data.Example{
+		{X: []float64{1, 0}, Y: 1},
+		{X: []float64{-1, 0}, Y: 0},
+		{X: []float64{2, 0}, Y: 0},  // wrong
+		{X: []float64{-2, 0}, Y: 1}, // wrong
+	}
+	if got := model.Accuracy(m, w, batch); got != 0.5 {
+		t.Fatalf("Accuracy = %g, want 0.5", got)
+	}
+}
+
+func TestAccuracyEmptyBatch(t *testing.T) {
+	m := linear.New(2, 2)
+	if got := model.Accuracy(m, make([]float64, m.NumParams()), nil); got != 0 {
+		t.Fatalf("Accuracy(empty) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,128 @@
+// Package solver implements the local solvers devices run on their
+// subproblems.
+//
+// The FedProx framework is solver-agnostic (Section 3.2): a device may use
+// any procedure that produces a γ-inexact solution of
+//
+//	h_k(w; wᵗ) = F_k(w) + (μ/2)·‖w − wᵗ‖²
+//
+// This package provides the solvers the paper evaluates — mini-batch SGD
+// (the FedAvg solver, and the FedProx solver with the proximal gradient
+// term added) and full gradient descent — plus the γ-inexactness
+// measurement of Definitions 1 and 2. A configurable linear correction
+// term supports the FedDane baseline (Appendix B), whose local objective
+// adds ⟨∇f(wᵗ) − ∇F_k(wᵗ), w⟩ to h_k.
+package solver
+
+import (
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+	"fedprox/internal/tensor"
+)
+
+// Config are the hyperparameters of a local solve.
+type Config struct {
+	// LearningRate is the SGD step size η. The paper tunes it per dataset
+	// on FedAvg and reuses it for all methods.
+	LearningRate float64
+	// BatchSize is the mini-batch size (paper: 10).
+	BatchSize int
+	// Mu is the proximal coefficient μ; 0 recovers the FedAvg subproblem.
+	Mu float64
+	// Correction, when non-nil, is a constant vector added to every
+	// stochastic gradient (the FedDane gradient-correction term). It must
+	// have the model's parameter length.
+	Correction []float64
+}
+
+// SGD runs epochs passes of mini-batch SGD on the device subproblem
+// h(w; w0) starting from w0 and returns the resulting parameters. Batch
+// order is drawn from rng, so fixing rng fixes mini-batch order across
+// compared runs, per the paper's protocol.
+//
+// Each step takes w ← w − η·(∇F(w; batch) + μ·(w − w0) + correction).
+func SGD(m model.Model, train []data.Example, w0 []float64, cfg Config, epochs int, rng *frand.Source) []float64 {
+	if epochs < 0 {
+		panic("solver: negative epochs")
+	}
+	w := tensor.Clone(w0)
+	grad := make([]float64, m.NumParams())
+	batch := make([]data.Example, 0, cfg.BatchSize)
+	for e := 0; e < epochs; e++ {
+		for _, idx := range data.Batches(len(train), cfg.BatchSize, rng) {
+			batch = batch[:0]
+			for _, i := range idx {
+				batch = append(batch, train[i])
+			}
+			m.Grad(grad, w, batch)
+			applyStep(w, grad, w0, cfg)
+		}
+	}
+	return w
+}
+
+// GD runs steps iterations of full-batch gradient descent on the device
+// subproblem and returns the resulting parameters. It is the deterministic
+// local solver used to exercise the framework's solver-agnosticism.
+func GD(m model.Model, train []data.Example, w0 []float64, cfg Config, steps int) []float64 {
+	w := tensor.Clone(w0)
+	grad := make([]float64, m.NumParams())
+	for s := 0; s < steps; s++ {
+		m.Grad(grad, w, train)
+		applyStep(w, grad, w0, cfg)
+	}
+	return w
+}
+
+// applyStep performs w ← w − η·(grad + μ(w − w0) + correction) in place.
+func applyStep(w, grad, w0 []float64, cfg Config) {
+	eta := cfg.LearningRate
+	mu := cfg.Mu
+	corr := cfg.Correction
+	for i := range w {
+		g := grad[i] + mu*(w[i]-w0[i])
+		if corr != nil {
+			g += corr[i]
+		}
+		w[i] -= eta * g
+	}
+}
+
+// SubproblemGrad writes ∇h(w; w0) = ∇F(w) + μ(w − w0) + correction over the
+// full local training set into dst and returns the subproblem loss
+// F(w) + (μ/2)‖w − w0‖² (+ ⟨correction, w⟩ when present).
+func SubproblemGrad(dst []float64, m model.Model, train []data.Example, w, w0 []float64, cfg Config) float64 {
+	loss := m.Grad(dst, w, train)
+	for i := range dst {
+		dst[i] += cfg.Mu * (w[i] - w0[i])
+		if cfg.Correction != nil {
+			dst[i] += cfg.Correction[i]
+		}
+	}
+	loss += 0.5 * cfg.Mu * tensor.SqDist(w, w0)
+	if cfg.Correction != nil {
+		loss += tensor.Dot(cfg.Correction, w)
+	}
+	return loss
+}
+
+// Gamma measures the achieved inexactness of a local solution w relative
+// to the starting point w0 (Definitions 1 and 2):
+//
+//	γ = ‖∇h(w; w0)‖ / ‖∇h(w0; w0)‖
+//
+// A device that did no work returns γ = 1; an exact minimizer returns
+// γ = 0. When the starting point is already stationary (denominator ≈ 0)
+// Gamma returns 0, matching the convention that no further progress is
+// required there.
+func Gamma(m model.Model, train []data.Example, w, w0 []float64, cfg Config) float64 {
+	grad := make([]float64, m.NumParams())
+	SubproblemGrad(grad, m, train, w0, w0, cfg)
+	denom := tensor.Norm2(grad)
+	if denom < 1e-12 {
+		return 0
+	}
+	SubproblemGrad(grad, m, train, w, w0, cfg)
+	return tensor.Norm2(grad) / denom
+}

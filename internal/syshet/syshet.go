@@ -1,0 +1,187 @@
+// Package syshet simulates device-level systems heterogeneity from first
+// principles, replacing the paper's designated-straggler shortcut with the
+// mechanism its Section 5.2 describes: "there is a real-world global clock
+// cycle to aggregate model updates, and each participating device
+// determines the amount of local work as a function of this clock cycle
+// and its systems constraints."
+//
+// A Fleet assigns every device a hardware tier (flagship phone, mid-range,
+// budget, aging) with a characteristic processing speed, plus a per-round
+// multiplicative jitter modelling battery state, thermal throttling, and
+// background load. A device's epoch budget for a round is how many passes
+// over its local shard fit inside the global deadline at its current
+// effective speed — so devices with more data or weaker hardware straggle
+// organically, and the straggler population is emergent rather than
+// designated. Fleet implements core.CapabilityModel.
+package syshet
+
+import (
+	"fmt"
+	"math"
+
+	"fedprox/internal/frand"
+)
+
+// Tier is a hardware class.
+type Tier struct {
+	// Name labels the tier in diagnostics.
+	Name string
+	// Share is the fraction of the fleet in this tier; shares are
+	// normalized, so they need not sum to 1.
+	Share float64
+	// Speed is the tier's processing rate in mini-batches per second.
+	Speed float64
+}
+
+// DefaultTiers models a consumer phone population: a small flagship
+// segment, a large mid-range core, and budget and aging tails.
+func DefaultTiers() []Tier {
+	return []Tier{
+		{Name: "flagship", Share: 0.10, Speed: 30},
+		{Name: "midrange", Share: 0.40, Speed: 10},
+		{Name: "budget", Share: 0.35, Speed: 4},
+		{Name: "aging", Share: 0.15, Speed: 1.5},
+	}
+}
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Deadline is the global clock cycle in seconds: the time the server
+	// waits before aggregating.
+	Deadline float64
+	// Tiers describes the hardware mix; nil selects DefaultTiers.
+	Tiers []Tier
+	// JitterStd is the standard deviation of the per-round log-normal
+	// speed jitter (0 disables jitter).
+	JitterStd float64
+	// BatchSize converts shard sizes into batches per epoch; must match
+	// the training batch size for budgets to be meaningful.
+	BatchSize int
+	// Seed drives tier assignment and jitter.
+	Seed uint64
+}
+
+// DeadlineFor returns the global clock cycle that lets a device of the
+// given speed complete exactly `epochs` epochs over a shard of meanShard
+// examples — the natural way to pick a deadline that makes mid-tier
+// devices just keep up.
+func DeadlineFor(epochs int, meanShard, batchSize int, speed float64) float64 {
+	if batchSize <= 0 || speed <= 0 {
+		panic("syshet: invalid deadline parameters")
+	}
+	batches := math.Ceil(float64(meanShard) / float64(batchSize))
+	return float64(epochs) * batches / speed
+}
+
+// Fleet is a population of simulated devices. It implements
+// core.CapabilityModel.
+type Fleet struct {
+	cfg    Config
+	tiers  []Tier
+	tierOf []int // device -> tier index
+	// batchesPerEpoch caches ceil(n_k / BatchSize) per device.
+	batchesPerEpoch []float64
+	jitterRoot      *frand.Source
+}
+
+// NewFleet builds a fleet for devices whose local training-set sizes are
+// trainSizes. Tier assignment is deterministic in Config.Seed.
+func NewFleet(cfg Config, trainSizes []int) *Fleet {
+	if cfg.Deadline <= 0 {
+		panic("syshet: Deadline must be positive")
+	}
+	if cfg.BatchSize <= 0 {
+		panic("syshet: BatchSize must be positive")
+	}
+	tiers := cfg.Tiers
+	if tiers == nil {
+		tiers = DefaultTiers()
+	}
+	if len(tiers) == 0 {
+		panic("syshet: no tiers")
+	}
+	shares := make([]float64, len(tiers))
+	for i, t := range tiers {
+		if t.Share < 0 || t.Speed <= 0 {
+			panic(fmt.Sprintf("syshet: invalid tier %+v", t))
+		}
+		shares[i] = t.Share
+	}
+	root := frand.New(cfg.Seed)
+	assign := root.Split("tiers")
+	f := &Fleet{
+		cfg:             cfg,
+		tiers:           tiers,
+		tierOf:          make([]int, len(trainSizes)),
+		batchesPerEpoch: make([]float64, len(trainSizes)),
+		jitterRoot:      root.Split("jitter"),
+	}
+	for k, n := range trainSizes {
+		f.tierOf[k] = assign.SplitIndex(k).Categorical(shares)
+		f.batchesPerEpoch[k] = math.Ceil(float64(n) / float64(cfg.BatchSize))
+		if f.batchesPerEpoch[k] < 1 {
+			f.batchesPerEpoch[k] = 1
+		}
+	}
+	return f
+}
+
+// Tier returns the tier name of a device.
+func (f *Fleet) Tier(device int) string {
+	return f.tiers[f.tierOf[device]].Name
+}
+
+// EffectiveSpeed returns the device's batches-per-second rate in a round,
+// including jitter. Deterministic in (round, device).
+func (f *Fleet) EffectiveSpeed(round, device int) float64 {
+	speed := f.tiers[f.tierOf[device]].Speed
+	if f.cfg.JitterStd > 0 {
+		z := f.jitterRoot.SplitIndex(round).SplitIndex(device).Norm()
+		speed *= math.Exp(f.cfg.JitterStd*z - f.cfg.JitterStd*f.cfg.JitterStd/2)
+	}
+	return speed
+}
+
+// EpochBudget implements core.CapabilityModel: the number of full epochs
+// the device completes before the deadline, capped at requested.
+func (f *Fleet) EpochBudget(round, device, requested int) int {
+	if device < 0 || device >= len(f.tierOf) {
+		panic(fmt.Sprintf("syshet: device %d out of range", device))
+	}
+	epochTime := f.batchesPerEpoch[device] / f.EffectiveSpeed(round, device)
+	budget := int(f.cfg.Deadline / epochTime)
+	if budget > requested {
+		budget = requested
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}
+
+// StragglerRate estimates the emergent straggler fraction: the share of
+// (round, device) pairs over the first `rounds` rounds whose budget falls
+// short of requested.
+func (f *Fleet) StragglerRate(rounds, requested int) float64 {
+	if rounds <= 0 || len(f.tierOf) == 0 {
+		return 0
+	}
+	short := 0
+	for r := 0; r < rounds; r++ {
+		for k := range f.tierOf {
+			if f.EpochBudget(r, k, requested) < requested {
+				short++
+			}
+		}
+	}
+	return float64(short) / float64(rounds*len(f.tierOf))
+}
+
+// TierCounts returns how many devices landed in each tier, in tier order.
+func (f *Fleet) TierCounts() map[string]int {
+	out := make(map[string]int, len(f.tiers))
+	for _, ti := range f.tierOf {
+		out[f.tiers[ti].Name]++
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package syshet
+
+import (
+	"math"
+	"testing"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/model/linear"
+)
+
+func coreWorkload() (*data.Federated, *linear.Model) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	return fed, linear.ForDataset(fed)
+}
+
+func sizes(n, per int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = per
+	}
+	return out
+}
+
+func testConfig() Config {
+	return Config{
+		Deadline:  DeadlineFor(20, 100, 10, 10), // mid-tier just completes E=20
+		JitterStd: 0.3,
+		BatchSize: 10,
+		Seed:      11,
+	}
+}
+
+func TestFleetImplementsCapabilityModel(t *testing.T) {
+	var _ core.CapabilityModel = NewFleet(testConfig(), sizes(10, 100))
+}
+
+func TestBudgetsWithinRange(t *testing.T) {
+	f := NewFleet(testConfig(), sizes(50, 100))
+	for r := 0; r < 5; r++ {
+		for k := 0; k < 50; k++ {
+			b := f.EpochBudget(r, k, 20)
+			if b < 0 || b > 20 {
+				t.Fatalf("budget = %d, want [0,20]", b)
+			}
+		}
+	}
+}
+
+func TestDeterministicBudgets(t *testing.T) {
+	a := NewFleet(testConfig(), sizes(30, 100))
+	b := NewFleet(testConfig(), sizes(30, 100))
+	for r := 0; r < 3; r++ {
+		for k := 0; k < 30; k++ {
+			if a.EpochBudget(r, k, 20) != b.EpochBudget(r, k, 20) {
+				t.Fatalf("budgets differ at round %d device %d", r, k)
+			}
+		}
+	}
+}
+
+func TestFasterTiersGetBiggerBudgets(t *testing.T) {
+	cfg := testConfig()
+	cfg.JitterStd = 0 // isolate tier speed
+	f := NewFleet(cfg, sizes(400, 100))
+	byTier := map[string][]int{}
+	for k := 0; k < 400; k++ {
+		byTier[f.Tier(k)] = append(byTier[f.Tier(k)], f.EpochBudget(0, k, 20))
+	}
+	mean := func(xs []int) float64 {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return float64(s) / float64(len(xs))
+	}
+	if mean(byTier["flagship"]) <= mean(byTier["aging"]) {
+		t.Fatalf("flagship budget %g not above aging %g",
+			mean(byTier["flagship"]), mean(byTier["aging"]))
+	}
+	// Mid-tier devices with the calibration shard should complete all 20.
+	if got := mean(byTier["midrange"]); got != 20 {
+		t.Fatalf("midrange mean budget = %g, want 20 at calibrated deadline", got)
+	}
+}
+
+func TestMoreDataMeansSmallerBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.JitterStd = 0
+	small := NewFleet(cfg, sizes(200, 50))
+	big := NewFleet(cfg, sizes(200, 500))
+	smaller := 0
+	for k := 0; k < 200; k++ {
+		bs, bb := small.EpochBudget(0, k, 20), big.EpochBudget(0, k, 20)
+		if bb < bs {
+			smaller++
+		}
+		if bb > bs {
+			t.Fatalf("device %d: 10x data gave bigger budget (%d > %d)", k, bb, bs)
+		}
+	}
+	if smaller == 0 {
+		t.Fatal("shard size never affected the budget")
+	}
+}
+
+func TestStragglerRateEmergent(t *testing.T) {
+	f := NewFleet(testConfig(), sizes(300, 100))
+	rate := f.StragglerRate(5, 20)
+	// Budget/aging tiers (~50% of the fleet) plus jitter should straggle;
+	// flagships should not. The rate must be interior, not 0 or 1.
+	if rate < 0.2 || rate > 0.9 {
+		t.Fatalf("emergent straggler rate = %g, want interior value", rate)
+	}
+}
+
+func TestDeadlineForCalibration(t *testing.T) {
+	d := DeadlineFor(20, 100, 10, 10)
+	// 10 batches/epoch at 10 batches/sec = 1 s/epoch; 20 epochs = 20 s.
+	if math.Abs(d-20) > 1e-12 {
+		t.Fatalf("DeadlineFor = %g, want 20", d)
+	}
+}
+
+func TestTierCountsMatchShares(t *testing.T) {
+	f := NewFleet(testConfig(), sizes(2000, 100))
+	counts := f.TierCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2000 {
+		t.Fatalf("tier counts sum to %d", total)
+	}
+	// midrange has share 0.40: expect roughly 800 of 2000.
+	if c := counts["midrange"]; c < 640 || c > 960 {
+		t.Fatalf("midrange count = %d, want ~800", c)
+	}
+	if counts["flagship"] >= counts["midrange"] {
+		t.Fatalf("flagship (%d) should be rarer than midrange (%d)",
+			counts["flagship"], counts["midrange"])
+	}
+}
+
+func TestJitterVariesAcrossRounds(t *testing.T) {
+	f := NewFleet(testConfig(), sizes(10, 100))
+	varies := false
+	for k := 0; k < 10 && !varies; k++ {
+		s0, s1 := f.EffectiveSpeed(0, k), f.EffectiveSpeed(1, k)
+		if s0 != s1 {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("jitter never varied across rounds")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewFleet(Config{Deadline: 0, BatchSize: 10}, sizes(1, 1)) },
+		func() { NewFleet(Config{Deadline: 1, BatchSize: 0}, sizes(1, 1)) },
+		func() {
+			NewFleet(Config{Deadline: 1, BatchSize: 10, Tiers: []Tier{{Share: -1, Speed: 1}}}, sizes(1, 1))
+		},
+		func() { NewFleet(Config{Deadline: 1, BatchSize: 10, Tiers: []Tier{}}, sizes(1, 1)) },
+		func() { NewFleet(testConfig(), sizes(1, 1)).EpochBudget(0, 5, 1) },
+		func() { DeadlineFor(1, 1, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestEndToEndWithCore runs the federated core under the capability model
+// and checks that partial-work aggregation beats dropping, as in the
+// designated-straggler experiments.
+func TestEndToEndWithCore(t *testing.T) {
+	// Built here to avoid an import cycle in test helpers: synthetic data
+	// through the core public entry points.
+	run := func(policy core.StragglerPolicy) float64 {
+		fed, mdl := coreWorkload()
+		cfg := core.FedProx(12, 10, 20, 0.01, 0)
+		cfg.Straggler = policy
+		cfg.EvalEvery = 12
+		cfg.Capability = NewFleet(Config{
+			Deadline:  DeadlineFor(4, 40, 10, 10), // tight: mid-tier gets 4 of 20 epochs
+			JitterStd: 0.3,
+			BatchSize: 10,
+			Seed:      3,
+		}, fed.TrainSizes())
+		h, err := core.Run(mdl, fed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Final().TrainLoss
+	}
+	drop, agg := run(core.DropStragglers), run(core.AggregatePartial)
+	if agg >= drop {
+		t.Fatalf("aggregate (%g) not better than drop (%g) under capability model", agg, drop)
+	}
+}

@@ -1,0 +1,388 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedprox/internal/frand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randVec(rng *frand.Source, n int) Vec {
+	return rng.NormVec(NewVec(n), 0, 1)
+}
+
+func TestDotBasics(t *testing.T) {
+	if got := Dot(Vec{1, 2, 3}, Vec{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+}
+
+func TestDotSymmetryProperty(t *testing.T) {
+	rng := frand.New(1)
+	f := func(n uint8) bool {
+		m := int(n%20) + 1
+		a, b := randVec(rng, m), randVec(rng, m)
+		return almostEq(Dot(a, b), Dot(b, a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	rng := frand.New(2)
+	f := func(n uint8) bool {
+		m := int(n%20) + 1
+		a, b := randVec(rng, m), randVec(rng, m)
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot(Vec{1}, Vec{1, 2})
+}
+
+func TestSqDistMatchesNorm(t *testing.T) {
+	rng := frand.New(3)
+	f := func(n uint8) bool {
+		m := int(n%20) + 1
+		a, b := randVec(rng, m), randVec(rng, m)
+		d := NewVec(m)
+		Sub(d, a, b)
+		return almostEq(SqDist(a, b), Dot(d, d), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxpyScaleAddSub(t *testing.T) {
+	y := Vec{1, 2, 3}
+	Axpy(2, Vec{1, 1, 1}, y)
+	if y[0] != 3 || y[1] != 4 || y[2] != 5 {
+		t.Fatalf("Axpy: %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 1.5 || y[2] != 2.5 {
+		t.Fatalf("Scale: %v", y)
+	}
+	dst := NewVec(3)
+	Add(dst, Vec{1, 2, 3}, Vec{4, 5, 6})
+	if dst[2] != 9 {
+		t.Fatalf("Add: %v", dst)
+	}
+	Sub(dst, dst, dst)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("aliased Sub: %v", dst)
+	}
+	AddScaled(dst, Vec{1, 1, 1}, -2, Vec{1, 2, 3})
+	if dst[0] != -1 || dst[2] != -5 {
+		t.Fatalf("AddScaled: %v", dst)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Vec{1, 2}
+	b := Clone(a)
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMeanAndWeightedMean(t *testing.T) {
+	vs := []Vec{{1, 2}, {3, 4}, {5, 6}}
+	dst := NewVec(2)
+	Mean(dst, vs)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("Mean: %v", dst)
+	}
+	WeightedMean(dst, vs, []float64{1, 0, 1})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("WeightedMean: %v", dst)
+	}
+	WeightedMean(dst, vs, []float64{1, 0, 0})
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("WeightedMean single: %v", dst)
+	}
+}
+
+func TestWeightedMeanEqualWeightsIsMean(t *testing.T) {
+	rng := frand.New(5)
+	f := func(n uint8) bool {
+		k := int(n%5) + 1
+		vs := make([]Vec, k)
+		ws := make([]float64, k)
+		for i := range vs {
+			vs[i] = randVec(rng, 4)
+			ws[i] = 2.5
+		}
+		m1, m2 := NewVec(4), NewVec(4)
+		Mean(m1, vs)
+		WeightedMean(m2, vs, ws)
+		for j := range m1 {
+			if !almostEq(m1[j], m2[j], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean of nothing did not panic")
+		}
+	}()
+	Mean(NewVec(1), nil)
+}
+
+func TestWeightedMeanPanics(t *testing.T) {
+	cases := []struct {
+		vs []Vec
+		ws []float64
+	}{
+		{nil, nil},
+		{[]Vec{{1}}, []float64{1, 2}},
+		{[]Vec{{1}}, []float64{0}},
+		{[]Vec{{1}}, []float64{-1}},
+	}
+	for i, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			WeightedMean(NewVec(1), tc.vs, tc.ws)
+		}()
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	rng := frand.New(7)
+	f := func(n uint8) bool {
+		m := int(n%10) + 2
+		logits := randVec(rng, m)
+		Scale(50, logits) // stress stability
+		p := NewVec(m)
+		Softmax(p, logits)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{101, 102, 103}
+	pa, pb := NewVec(3), NewVec(3)
+	Softmax(pa, a)
+	Softmax(pb, b)
+	for i := range pa {
+		if !almostEq(pa[i], pb[i], 1e-12) {
+			t.Fatalf("softmax not shift invariant: %v vs %v", pa, pb)
+		}
+	}
+}
+
+func TestLogSumExpStable(t *testing.T) {
+	v := Vec{1000, 1000}
+	want := 1000 + math.Log(2)
+	if got := LogSumExp(v); !almostEq(got, want, 1e-9) {
+		t.Fatalf("LogSumExp = %g, want %g", got, want)
+	}
+	if got := LogSumExp(Vec{-1000, -1000}); !almostEq(got, -1000+math.Log(2), 1e-9) {
+		t.Fatalf("LogSumExp underflow: %g", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax(Vec{1, 5, 3}); got != 1 {
+		t.Fatalf("ArgMax = %d", got)
+	}
+	if got := ArgMax(Vec{2, 2, 2}); got != 0 {
+		t.Fatalf("ArgMax tie = %d, want first index", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Fatalf("Sigmoid(0) = %g", got)
+	}
+	if got := Sigmoid(1000); got != 1 {
+		t.Fatalf("Sigmoid(1000) = %g", got)
+	}
+	if got := Sigmoid(-1000); got != 0 {
+		t.Fatalf("Sigmoid(-1000) = %g", got)
+	}
+	// Symmetry: σ(−x) = 1 − σ(x).
+	for _, x := range []float64{0.5, 2, 7} {
+		if !almostEq(Sigmoid(-x), 1-Sigmoid(x), 1e-12) {
+			t.Fatalf("sigmoid symmetry broken at %g", x)
+		}
+	}
+}
+
+func TestMatViewAndAccessors(t *testing.T) {
+	m := MatView(Vec{1, 2, 3, 4, 5, 6}, 2, 3)
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At = %g", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.Data[1] != 9 {
+		t.Fatal("Set did not write through")
+	}
+	row := m.Row(1)
+	row[0] = -1
+	if m.At(1, 0) != -1 {
+		t.Fatal("Row is not a view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatView with wrong size did not panic")
+		}
+	}()
+	MatView(Vec{1, 2, 3}, 2, 2)
+}
+
+func TestMatVecAgainstNaive(t *testing.T) {
+	rng := frand.New(11)
+	f := func(a, b uint8) bool {
+		r := int(a%8) + 1
+		c := int(b%8) + 1
+		m := NewMat(r, c)
+		rng.NormVec(m.Data, 0, 1)
+		x := randVec(rng, c)
+		got := NewVec(r)
+		MatVec(got, m, x)
+		for i := 0; i < r; i++ {
+			want := 0.0
+			for j := 0; j < c; j++ {
+				want += m.At(i, j) * x[j]
+			}
+			if !almostEq(got[i], want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatTVecIsTranspose(t *testing.T) {
+	rng := frand.New(13)
+	m := NewMat(3, 4)
+	rng.NormVec(m.Data, 0, 1)
+	y := randVec(rng, 3)
+	got := NewVec(4)
+	MatTVec(got, m, y)
+	for j := 0; j < 4; j++ {
+		want := 0.0
+		for i := 0; i < 3; i++ {
+			want += m.At(i, j) * y[i]
+		}
+		if !almostEq(got[j], want, 1e-9) {
+			t.Fatalf("MatTVec[%d] = %g, want %g", j, got[j], want)
+		}
+	}
+}
+
+func TestAddOuterRankOne(t *testing.T) {
+	m := NewMat(2, 3)
+	AddOuter(m, 2, Vec{1, 2}, Vec{3, 4, 5})
+	if m.At(0, 0) != 6 || m.At(1, 2) != 20 {
+		t.Fatalf("AddOuter: %v", m.Data)
+	}
+	// alpha·y[i] == 0 fast path must not corrupt other rows.
+	AddOuter(m, 1, Vec{0, 1}, Vec{1, 1, 1})
+	if m.At(0, 0) != 6 || m.At(1, 0) != 13 {
+		t.Fatalf("AddOuter zero row: %v", m.Data)
+	}
+}
+
+func TestMatShapePanics(t *testing.T) {
+	m := NewMat(2, 3)
+	for i, fn := range []func(){
+		func() { MatVec(NewVec(3), m, NewVec(3)) },
+		func() { MatVec(NewVec(2), m, NewVec(2)) },
+		func() { MatTVec(NewVec(2), m, NewVec(2)) },
+		func() { AddOuter(m, 1, NewVec(3), NewVec(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatVecAddCombines(t *testing.T) {
+	m := MatView(Vec{1, 0, 0, 1}, 2, 2)
+	dst := NewVec(2)
+	MatVecAdd(dst, m, Vec{3, 4}, Vec{10, 20})
+	if dst[0] != 13 || dst[1] != 24 {
+		t.Fatalf("MatVecAdd: %v", dst)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	v := Vec{1, 2, 3}
+	Fill(v, 7)
+	if v[0] != 7 || v[2] != 7 {
+		t.Fatalf("Fill: %v", v)
+	}
+	Zero(v)
+	if v[1] != 0 {
+		t.Fatalf("Zero: %v", v)
+	}
+}
+
+func BenchmarkDot1k(b *testing.B) {
+	rng := frand.New(1)
+	x, y := randVec(rng, 1024), randVec(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkMatVec128(b *testing.B) {
+	rng := frand.New(1)
+	m := NewMat(128, 128)
+	rng.NormVec(m.Data, 0, 1)
+	x := randVec(rng, 128)
+	dst := NewVec(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(dst, m, x)
+	}
+}
