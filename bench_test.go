@@ -14,6 +14,7 @@ package fedprox_bench
 import (
 	"testing"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/data/synthetic"
 	"fedprox/internal/experiments"
@@ -273,6 +274,51 @@ func epochName(e int) string {
 		return "E=5"
 	default:
 		return "E=20"
+	}
+}
+
+// --- codec benches (internal/comm hot paths) ---
+
+// BenchmarkCodec measures each codec's encode+decode round-trip on a
+// realistically sized parameter vector (a 64k-parameter model, the order
+// of the LSTM workloads). The wire-bytes metric tracks the compression
+// each codec achieves on the same input.
+func BenchmarkCodec(b *testing.B) {
+	const n = 1 << 16
+	rng := frand.New(11)
+	params := rng.NormVec(make([]float64, n), 0, 1)
+	// prev is close to params, the round-over-round shape delta-family
+	// codecs exploit.
+	prev := make([]float64, n)
+	for i := range prev {
+		prev[i] = params[i] + rng.NormMeanStd(0, 0.05)
+	}
+	specs := []comm.Spec{
+		{Name: "raw"},
+		{Name: "delta"},
+		{Name: "qsgd", Bits: 8},
+		{Name: "qsgd", Bits: 4},
+		{Name: "delta+qsgd", Bits: 8},
+		{Name: "topk", TopK: 0.1},
+	}
+	for _, spec := range specs {
+		b.Run(spec.String(), func(b *testing.B) {
+			c, err := spec.ForDevice(comm.Uplink, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(8 * n)
+			var wire int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := c.Encode(params, prev)
+				if _, err := c.Decode(u, prev); err != nil {
+					b.Fatal(err)
+				}
+				wire = u.WireBytes()
+			}
+			b.ReportMetric(float64(wire), "wire-bytes")
+		})
 	}
 }
 

@@ -32,6 +32,10 @@ func main() {
 		rounds   = flag.Int("rounds", 0, "override communication rounds for convex workloads")
 		seed     = flag.Uint64("seed", 0, "override environment seed")
 		scale    = flag.Float64("scale", 0, "override dataset scale factor")
+		codec    = flag.String("codec", "", "apply a model-update codec to every run (see internal/comm)")
+		downCdc  = flag.String("downlink-codec", "", "override -codec on the broadcast direction")
+		bits     = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
+		topk     = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
 	)
 	flag.Parse()
 
@@ -64,6 +68,14 @@ func main() {
 	if *scale > 0 {
 		opts.Scale = *scale
 	}
+	if *codec == "" && (*downCdc != "" || *bits != 0 || *topk != 0) {
+		fmt.Fprintln(os.Stderr, "fedbench: -downlink-codec, -bits, and -topk require -codec")
+		os.Exit(2)
+	}
+	opts.Codec = *codec
+	opts.DownlinkCodec = *downCdc
+	opts.CodecBits = *bits
+	opts.CodecTopK = *topk
 
 	ids := []string{*exp}
 	if *exp == "all" {

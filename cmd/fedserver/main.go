@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/experiments"
 	"fedprox/internal/fednet"
@@ -35,6 +37,10 @@ func main() {
 		drop       = flag.Bool("drop", false, "drop stragglers (FedAvg) instead of aggregating partial work")
 		evalEvery  = flag.Int("eval-every", 5, "evaluation interval in rounds")
 		seed       = flag.Uint64("seed", 7, "environment seed (must match workers' -data-seed usage)")
+		codec      = flag.String("codec", "", "model-update codec: "+strings.Join(comm.Names(), ", ")+" (empty = uncompressed)")
+		downCodec  = flag.String("downlink-codec", "", "override -codec on the broadcast direction (e.g. raw under -codec topk)")
+		bits       = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
+		topk       = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,15 @@ func main() {
 	if *drop {
 		cfg.Straggler = core.DropStragglers
 	}
+	if *codec == "" && (*downCodec != "" || *bits != 0 || *topk != 0) {
+		fail(fmt.Errorf("-downlink-codec, -bits, and -topk require -codec"))
+	}
+	if *codec != "" {
+		cfg.Codec = comm.Spec{Name: *codec, Bits: *bits, TopK: *topk}
+		if *downCodec != "" {
+			cfg.DownlinkCodec = comm.Spec{Name: *downCodec, Bits: *bits, TopK: *topk}
+		}
+	}
 
 	srv, err := fednet.NewServer(w.Model, fednet.ServerConfig{
 		Training:      cfg,
@@ -67,6 +82,10 @@ func main() {
 		fail(err)
 	}
 	fmt.Print(hist)
+	c := hist.Final().Cost
+	read, written := srv.BytesOnWire()
+	fmt.Printf("bytes: uplink %dKB, downlink %dKB (payload accounting); wire %dKB in / %dKB out (measured)\n",
+		c.UplinkBytes/1024, c.DownlinkBytes/1024, read/1024, written/1024)
 }
 
 func fail(err error) {

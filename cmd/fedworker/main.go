@@ -10,7 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/data"
 	"fedprox/internal/data/datafile"
 	"fedprox/internal/experiments"
@@ -27,6 +29,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "total number of workers in the deployment")
 		index    = flag.Int("index", 0, "this worker's index in [0, workers)")
 		local    = flag.String("solver", "sgd", "local solver: sgd, momentum, adagrad, adam, gd")
+		codec    = flag.String("codec", "", "restrict the offered update codecs to this comma-separated list (default: all of "+strings.Join(comm.Names(), ", ")+")")
 	)
 	flag.Parse()
 	if *index < 0 || *index >= *workers {
@@ -61,7 +64,20 @@ func main() {
 	}
 	fmt.Printf("fedworker %d/%d: hosting %d devices of %s, solver %s\n",
 		*index, *workers, len(shards), fed.Name, ls.Name())
-	if err := fednet.NewWorker(w.Model, shards, ls).Run(*addr); err != nil {
+	wk := fednet.NewWorker(w.Model, shards, ls)
+	if *codec != "" {
+		for _, name := range strings.Split(*codec, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				wk.Offer = append(wk.Offer, name)
+			}
+		}
+		if len(wk.Offer) == 0 {
+			// A nil Offer advertises every codec — the opposite of what a
+			// non-empty (if malformed) -codec asked for.
+			fail(fmt.Errorf("-codec %q names no codecs", *codec))
+		}
+	}
+	if err := wk.Run(*addr); err != nil {
 		fail(err)
 	}
 	fmt.Printf("fedworker %d: shut down cleanly\n", *index)

@@ -1,0 +1,3 @@
+module fedprox
+
+go 1.24

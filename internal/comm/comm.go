@@ -1,0 +1,318 @@
+// Package comm implements pluggable codecs for federated model-update
+// transfers, with byte accounting as a first-class output.
+//
+// FedProx targets networks where communication, not computation, is the
+// dominant cost. This package makes that cost explicit and reducible: a
+// Codec compresses one directed link's parameter transfers (a downlink
+// broadcast wᵗ or an uplink local solution w_k), and every encoded Update
+// reports the bytes an efficient serialization of it occupies, so the
+// simulator (internal/core) and the distributed runtime (internal/fednet)
+// can record uplink/downlink traffic per round and trade accuracy against
+// bytes on the wire.
+//
+// Registered codecs:
+//
+//   - raw: float64 verbatim — today's behaviour, the accounting baseline
+//     and the only codec that reconstructs bit for bit.
+//   - delta: w − w_prev as dense float64. Exact up to one float64
+//     rounding step per coordinate and the same size as raw on its own;
+//     it exists to compose (the difference between consecutive
+//     broadcasts is much smaller in magnitude than the model, so lossy
+//     codecs applied to it lose less).
+//   - qsgd: stochastic uniform quantization à la QSGD (Alistarh et al.)
+//     at a configurable bit width. Rounding randomness comes from a
+//     frand stream derived from (seed, direction, device), so runs are
+//     bit-reproducible and the simulator and the distributed runtime
+//     draw identical streams.
+//   - delta+qsgd: quantize the difference instead of the model.
+//   - topk: keep only the k = ⌈TopK·n⌉ largest-magnitude coordinates of
+//     the transition w − w_prev, carrying the untransmitted remainder in
+//     a per-link error-feedback residual (Stich et al.) so every
+//     coordinate is eventually delivered. Top-k only makes sense on
+//     differences, so the delta transform is built in.
+//
+// Codec instances are per directed link: Spec.ForDevice(direction,
+// device) returns a fresh instance whose state (stochastic-rounding
+// stream, error-feedback residual) belongs to that link alone. Encode
+// mutates that state; Decode is stateless, so the two endpoints of a
+// link may hold distinct instances. Both endpoints must agree on the
+// previous delivered value (`prev`) — callers track the last decoded
+// transfer per link and feed it back on both sides.
+package comm
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"fedprox/internal/frand"
+)
+
+// Default knob values filled in by Spec.WithDefaults.
+const (
+	// DefaultBits is the qsgd bit width (sign included) when Spec.Bits
+	// is zero.
+	DefaultBits = 8
+	// DefaultTopK is the kept-coordinate fraction when Spec.TopK is zero.
+	DefaultTopK = 0.1
+)
+
+// Spec selects and parameterizes a codec. The zero value means "no codec
+// configured" (Enabled reports false); a Spec with only Name set uses the
+// package defaults for every knob.
+type Spec struct {
+	// Name is one of Names(): "raw", "delta", "qsgd", "delta+qsgd",
+	// "topk". Empty disables compression entirely.
+	Name string
+	// Bits is the qsgd quantization width in bits per coordinate,
+	// including the sign, in [2, 16]. Zero selects DefaultBits.
+	Bits int
+	// TopK is the fraction of coordinates the topk codec keeps, in
+	// (0, 1]. Zero selects DefaultTopK.
+	TopK float64
+	// Seed drives the stochastic-rounding streams. Callers that want
+	// codec randomness tied to the run seed leave this zero and let the
+	// run fill it in (core.Config.CommSpec does).
+	Seed uint64
+}
+
+// Enabled reports whether the spec names a codec.
+func (s Spec) Enabled() bool { return s.Name != "" }
+
+// WithDefaults returns s with zero-valued knobs replaced by the package
+// defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.Bits == 0 {
+		s.Bits = DefaultBits
+	}
+	if s.TopK == 0 {
+		s.TopK = DefaultTopK
+	}
+	return s
+}
+
+// Validate reports the first configuration error, or nil. The zero
+// (disabled) spec is valid.
+func (s Spec) Validate() error {
+	if !s.Enabled() {
+		return nil
+	}
+	if !slices.Contains(Names(), s.Name) {
+		return fmt.Errorf("comm: unknown codec %q (known: %s)", s.Name, strings.Join(Names(), ", "))
+	}
+	s = s.WithDefaults()
+	if s.Bits < 2 || s.Bits > 16 {
+		return fmt.Errorf("comm: qsgd bit width must be in [2,16], got %d", s.Bits)
+	}
+	if s.TopK <= 0 || s.TopK > 1 {
+		return fmt.Errorf("comm: topk fraction must be in (0,1], got %g", s.TopK)
+	}
+	return nil
+}
+
+// Lossless reports whether the named codec reconstructs parameters
+// bit for bit.
+func (s Spec) Lossless() bool { return s.Name == "raw" }
+
+// UsesPrev reports whether the codec interprets payloads relative to
+// the link's previously delivered value (the `prev` argument). raw and
+// qsgd encode the parameters themselves; the delta family and topk
+// encode transitions.
+func (s Spec) UsesPrev() bool {
+	switch s.Name {
+	case "delta", "delta+qsgd", "topk":
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders the spec with its effective knobs, e.g. "qsgd(b=8)".
+func (s Spec) String() string {
+	if !s.Enabled() {
+		return "uncompressed"
+	}
+	d := s.WithDefaults()
+	switch s.Name {
+	case "qsgd", "delta+qsgd":
+		return fmt.Sprintf("%s(b=%d)", s.Name, d.Bits)
+	case "topk":
+		return fmt.Sprintf("topk(k=%g%%)", 100*d.TopK)
+	default:
+		return s.Name
+	}
+}
+
+// Names returns every registered codec name, in documentation order.
+func Names() []string {
+	return []string{"raw", "delta", "qsgd", "delta+qsgd", "topk"}
+}
+
+// Link directions. They name frand streams (so the two directions of a
+// device's link are decorrelated) and select the error-feedback policy:
+// a Downlink link chains its base — both endpoints track the last
+// decoded broadcast, so any unsent mass automatically reappears in the
+// next transition and an explicit residual would double-count it. Every
+// other direction (Uplink in particular) has a one-shot base that is
+// known exactly on both sides each round, so unsent mass is gone unless
+// a residual carries it forward.
+const (
+	Downlink = "downlink"
+	Uplink   = "uplink"
+)
+
+// ForDevice returns a fresh codec instance for one directed link
+// (direction is conventionally Downlink or Uplink; device is the global
+// device index). The instance owns per-link state — a
+// stochastic-rounding stream derived from (Seed, direction, device) and,
+// for topk on non-downlink links, the error-feedback residual — and must
+// not be shared across links or used concurrently.
+func (s Spec) ForDevice(direction string, device int) (Codec, error) {
+	if !s.Enabled() {
+		return nil, fmt.Errorf("comm: ForDevice on a disabled spec")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s = s.WithDefaults()
+	rng := frand.New(s.Seed).Split("comm/" + direction).SplitIndex(device)
+	switch s.Name {
+	case "raw":
+		return rawCodec{}, nil
+	case "delta":
+		return &deltaCodec{name: "delta", inner: rawCodec{}}, nil
+	case "qsgd":
+		return &qsgdCodec{name: "qsgd", bits: s.Bits, rng: rng}, nil
+	case "delta+qsgd":
+		return &deltaCodec{name: "delta+qsgd", inner: &qsgdCodec{name: "qsgd", bits: s.Bits, rng: rng}}, nil
+	case "topk":
+		return &topkCodec{frac: s.TopK, ef: direction != Downlink}, nil
+	default:
+		return nil, fmt.Errorf("comm: unknown codec %q", s.Name)
+	}
+}
+
+// Codec compresses the parameter transfers of one directed link.
+type Codec interface {
+	// Name returns the registered codec name.
+	Name() string
+	// Encode compresses the transition from prev (the last value
+	// delivered on this link; nil means none yet) to params. It may
+	// advance per-link state (rounding stream, residual).
+	Encode(params, prev []float64) *Update
+	// Decode reconstructs the transferred parameters. prev must be the
+	// same value the encoder saw — link endpoints keep it in lockstep by
+	// both storing every decoded transfer. Decode is stateless.
+	Decode(u *Update, prev []float64) ([]float64, error)
+}
+
+// Update is one encoded parameter transfer, the unit that crosses the
+// wire. Exactly one payload family is populated: Dense (raw, delta),
+// Scale+Packed (qsgd family), or Indices+Values (topk).
+type Update struct {
+	// Codec names the encoding, for endpoint sanity checks.
+	Codec string
+	// N is the parameter count of the decoded vector.
+	N int
+
+	// Dense is the float64 payload of the raw and delta codecs.
+	Dense []float64
+
+	// Bits, Scale, Packed carry a quantized payload: each coordinate is
+	// an offset-binary level of Bits bits in Packed, scaled by Scale.
+	Bits   int
+	Scale  float64
+	Packed []byte
+
+	// Indices, Values carry a sparse payload: Values[j] is the
+	// transition component at coordinate Indices[j].
+	Indices []int32
+	Values  []float64
+}
+
+// WireBytes returns the bytes an efficient serialization of the update
+// occupies: 8 per float64, 4 per index, plus the quantizer's scale. The
+// raw codec costs exactly 8·N — the accounting the simulator used before
+// codecs existed — so "raw" is the baseline compression ratios are
+// measured against.
+func (u *Update) WireBytes() int64 {
+	switch {
+	case u.Packed != nil:
+		return 8 + int64((u.N*u.Bits+7)/8)
+	case u.Indices != nil:
+		return 4 + 12*int64(len(u.Indices))
+	default:
+		return 8 * int64(u.N)
+	}
+}
+
+// check validates the envelope fields every decoder shares.
+func (u *Update) check(codec string, prev []float64) error {
+	if u.Codec != codec {
+		return fmt.Errorf("comm: update encoded with %q, decoding with %q", u.Codec, codec)
+	}
+	if prev != nil && len(prev) != u.N {
+		return fmt.Errorf("comm: update has %d params, link state has %d", u.N, len(prev))
+	}
+	return nil
+}
+
+// rawCodec ships float64 parameters verbatim.
+type rawCodec struct{}
+
+func (rawCodec) Name() string { return "raw" }
+
+func (rawCodec) Encode(params, _ []float64) *Update {
+	return &Update{Codec: "raw", N: len(params), Dense: append([]float64(nil), params...)}
+}
+
+func (rawCodec) Decode(u *Update, prev []float64) ([]float64, error) {
+	if err := u.check("raw", prev); err != nil {
+		return nil, err
+	}
+	if len(u.Dense) != u.N {
+		return nil, fmt.Errorf("comm: raw payload has %d values, header says %d", len(u.Dense), u.N)
+	}
+	return append([]float64(nil), u.Dense...), nil
+}
+
+// deltaCodec applies an inner codec to the difference params − prev
+// (prev nil ⇒ zeros), so lossy inner codecs operate on the small
+// round-over-round transition instead of the full model.
+type deltaCodec struct {
+	name  string
+	inner Codec
+}
+
+func (c *deltaCodec) Name() string { return c.name }
+
+func (c *deltaCodec) Encode(params, prev []float64) *Update {
+	d := make([]float64, len(params))
+	copy(d, params)
+	if prev != nil {
+		for i, p := range prev {
+			d[i] -= p
+		}
+	}
+	u := c.inner.Encode(d, nil)
+	u.Codec = c.name
+	return u
+}
+
+func (c *deltaCodec) Decode(u *Update, prev []float64) ([]float64, error) {
+	if err := u.check(c.name, prev); err != nil {
+		return nil, err
+	}
+	iu := *u
+	iu.Codec = c.inner.Name()
+	d, err := c.inner.Decode(&iu, nil)
+	if err != nil {
+		return nil, err
+	}
+	if prev != nil {
+		for i, p := range prev {
+			d[i] += p
+		}
+	}
+	return d, nil
+}

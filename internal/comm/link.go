@@ -1,0 +1,66 @@
+package comm
+
+// LinkState is one endpoint's per-device codec state: lazily created
+// downlink/uplink codec instances plus the last decoded broadcast per
+// device. The simulator's network model and both fednet endpoints
+// (coordinator and worker) share this type, so the three state machines
+// that must stay in lockstep for decoding to work cannot drift apart.
+type LinkState struct {
+	downSpec, upSpec Spec
+	trackPrev        bool
+	down, up         map[int]Codec
+	prev             map[int][]float64
+}
+
+// NewLinkState validates the per-direction specs and returns empty state.
+func NewLinkState(down, up Spec) (*LinkState, error) {
+	if err := down.Validate(); err != nil {
+		return nil, err
+	}
+	if err := up.Validate(); err != nil {
+		return nil, err
+	}
+	return &LinkState{
+		downSpec: down,
+		upSpec:   up,
+		// Only prev-relative downlink codecs need the broadcast shadow;
+		// for raw/qsgd downlinks, per-device copies of the full model
+		// would be pure waste.
+		trackPrev: down.UsesPrev(),
+		down:      make(map[int]Codec),
+		up:        make(map[int]Codec),
+		prev:      make(map[int][]float64),
+	}, nil
+}
+
+// Link returns the device's codec pair, creating both directions on
+// first contact. Create links sequentially (e.g. during the broadcast
+// phase); afterwards the maps are only read, so per-device codecs may
+// be used from concurrent goroutines — one goroutine per device.
+func (l *LinkState) Link(device int) (down, up Codec, err error) {
+	down = l.down[device]
+	if down == nil {
+		if down, err = l.downSpec.ForDevice(Downlink, device); err != nil {
+			return nil, nil, err
+		}
+		if up, err = l.upSpec.ForDevice(Uplink, device); err != nil {
+			return nil, nil, err
+		}
+		l.down[device], l.up[device] = down, up
+	}
+	return l.down[device], l.up[device], nil
+}
+
+// Prev returns the last decoded broadcast delivered on the device's
+// downlink (nil before first contact, or when the downlink codec does
+// not interpret payloads relative to it).
+func (l *LinkState) Prev(device int) []float64 { return l.prev[device] }
+
+// SetPrev records the decoded broadcast after a downlink transfer. Both
+// endpoints of a link must call it with the same decoded value to stay
+// in lockstep.
+func (l *LinkState) SetPrev(device int, view []float64) {
+	if l.trackPrev {
+		l.prev[device] = view
+	}
+}

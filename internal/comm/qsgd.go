@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"fedprox/internal/frand"
+)
+
+// qsgdCodec implements QSGD-style stochastic uniform quantization: each
+// coordinate v is scaled by the vector's max-magnitude, mapped to one of
+// 2^(bits−1)−1 levels per sign, and rounded stochastically so the
+// quantizer is unbiased (E[decode] = v). Levels are packed at `bits` bits
+// per coordinate.
+type qsgdCodec struct {
+	name string
+	bits int
+	rng  *frand.Source
+}
+
+func (c *qsgdCodec) Name() string { return c.name }
+
+// levels returns s, the number of positive quantization levels at the
+// given width: values are integers in [−s, s], stored offset-binary.
+func levels(bits int) int { return 1<<(bits-1) - 1 }
+
+func (c *qsgdCodec) Encode(v, _ []float64) *Update {
+	n := len(v)
+	s := levels(c.bits)
+	scale := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > scale {
+			scale = a
+		}
+	}
+	u := &Update{
+		Codec:  c.name,
+		N:      n,
+		Bits:   c.bits,
+		Scale:  scale,
+		Packed: make([]byte, (n*c.bits+7)/8),
+	}
+	if scale == 0 {
+		// All-zero vector: Decode short-circuits on Scale == 0, so the
+		// level payload is never read — leave Packed zeroed.
+		return u
+	}
+	for i, x := range v {
+		t := x / scale * float64(s) // in [−s, s]
+		f := math.Floor(t)
+		q := int(f)
+		if c.rng.Float64() < t-f {
+			q++
+		}
+		if q < -s {
+			q = -s
+		}
+		if q > s {
+			q = s
+		}
+		putBits(u.Packed, i*c.bits, c.bits, uint32(q+s))
+	}
+	return u
+}
+
+func (c *qsgdCodec) Decode(u *Update, prev []float64) ([]float64, error) {
+	if err := u.check(c.name, prev); err != nil {
+		return nil, err
+	}
+	if u.Bits != c.bits {
+		return nil, fmt.Errorf("comm: qsgd update at %d bits, link configured for %d", u.Bits, c.bits)
+	}
+	if want := (u.N*u.Bits + 7) / 8; len(u.Packed) != want {
+		return nil, fmt.Errorf("comm: qsgd payload has %d bytes, want %d", len(u.Packed), want)
+	}
+	s := levels(u.Bits)
+	out := make([]float64, u.N)
+	if u.Scale == 0 {
+		return out, nil
+	}
+	unit := u.Scale / float64(s)
+	for i := range out {
+		q := int(getBits(u.Packed, i*u.Bits, u.Bits)) - s
+		out[i] = float64(q) * unit
+	}
+	return out, nil
+}
+
+// putBits writes the low `width` bits of v at bit offset off. width ≤ 16,
+// so a value spans at most three bytes.
+func putBits(b []byte, off, width int, v uint32) {
+	i := off >> 3
+	sh := uint(off & 7)
+	x := v << sh
+	b[i] |= byte(x)
+	if int(sh)+width > 8 {
+		b[i+1] |= byte(x >> 8)
+	}
+	if int(sh)+width > 16 {
+		b[i+2] |= byte(x >> 16)
+	}
+}
+
+// getBits reads `width` bits at bit offset off.
+func getBits(b []byte, off, width int) uint32 {
+	i := off >> 3
+	sh := uint(off & 7)
+	x := uint32(b[i])
+	if int(sh)+width > 8 {
+		x |= uint32(b[i+1]) << 8
+	}
+	if int(sh)+width > 16 {
+		x |= uint32(b[i+2]) << 16
+	}
+	return (x >> sh) & (1<<width - 1)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/model/linear"
+)
+
+// TestRawCodecMatchesUncompressed is half of the subsystem's defining
+// guarantee: the raw codec is a pure pass-through, so enabling it must
+// reproduce the no-codec trajectory bit for bit — and, under
+// AggregatePartial (every selected device contacted), the byte and epoch
+// accounting too.
+func TestRawCodecMatchesUncompressed(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.15))
+	mdl := linear.ForDataset(fed)
+
+	base := FedProx(12, 8, 5, 0.01, 1)
+	base.StragglerFraction = 0.5
+	base.EvalEvery = 3
+
+	plain, err := Run(mdl, fed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded := base
+	coded.Codec = comm.Spec{Name: "raw"}
+	withRaw, err := Run(mdl, fed, coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plain.Points) != len(withRaw.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(plain.Points), len(withRaw.Points))
+	}
+	for i := range plain.Points {
+		p, q := plain.Points[i], withRaw.Points[i]
+		if p.TrainLoss != q.TrainLoss {
+			t.Fatalf("round %d: loss %.17g != %.17g", p.Round, p.TrainLoss, q.TrainLoss)
+		}
+		if p.TestAcc != q.TestAcc {
+			t.Fatalf("round %d: acc %g != %g", p.Round, p.TestAcc, q.TestAcc)
+		}
+		if p.Participants != q.Participants {
+			t.Fatalf("round %d: participants %d != %d", p.Round, p.Participants, q.Participants)
+		}
+		// AggregatePartial contacts every selected device, so the raw
+		// codec's contacted-only accounting coincides with the legacy
+		// accounting exactly.
+		if p.Cost != q.Cost {
+			t.Fatalf("round %d: cost %+v != %+v", p.Round, p.Cost, q.Cost)
+		}
+	}
+}
+
+// TestRawCodecMatchesUnderDrop covers the DropStragglers corner: the
+// trajectory (loss/accuracy/participants) must still match bit for bit
+// even though the codec path skips contacting dropped stragglers and so
+// accounts fewer bytes and epochs.
+func TestRawCodecMatchesUnderDrop(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.15))
+	mdl := linear.ForDataset(fed)
+
+	base := FedAvg(10, 8, 5, 0.01)
+	base.StragglerFraction = 0.9
+	base.EvalEvery = 2
+
+	plain, err := Run(mdl, fed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded := base
+	coded.Codec = comm.Spec{Name: "raw"}
+	withRaw, err := Run(mdl, fed, coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Points {
+		p, q := plain.Points[i], withRaw.Points[i]
+		if p.TrainLoss != q.TrainLoss || p.TestAcc != q.TestAcc || p.Participants != q.Participants {
+			t.Fatalf("round %d diverged: %+v vs %+v", p.Round, p, q)
+		}
+	}
+	fp, fq := plain.Final().Cost, withRaw.Final().Cost
+	if fq.WastedEpochs != 0 {
+		t.Fatalf("codec path charged %d wasted epochs; it never contacts dropped stragglers", fq.WastedEpochs)
+	}
+	if fq.DownlinkBytes >= fp.DownlinkBytes {
+		t.Fatalf("codec path should charge fewer downloads under drop: %d vs %d", fq.DownlinkBytes, fp.DownlinkBytes)
+	}
+}
+
+// TestLossyCodecsCompressWithoutDivergence is the other half of the
+// acceptance bar: on the synthetic workload, qsgd and topk must cut
+// recorded uplink bytes by at least 4x while landing within 10% of the
+// uncompressed final training loss.
+func TestLossyCodecsCompressWithoutDivergence(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.15))
+	mdl := linear.ForDataset(fed)
+
+	base := FedProx(30, 10, 10, 0.01, 1)
+	base.StragglerFraction = 0.5
+	base.EvalEvery = 10
+
+	ref, err := Run(mdl, fed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLoss := ref.Final().TrainLoss
+	refUp := ref.Final().Cost.UplinkBytes
+
+	cases := []struct {
+		codec, down comm.Spec
+	}{
+		// qsgd tolerates both directions; topk must ride over a dense
+		// broadcast (sparsifying the chained downlink starves devices of
+		// coordinate updates), the asymmetric shape real deployments use.
+		{codec: comm.Spec{Name: "qsgd", Bits: 8}},
+		{codec: comm.Spec{Name: "delta+qsgd", Bits: 8}},
+		{codec: comm.Spec{Name: "topk", TopK: 0.1}, down: comm.Spec{Name: "raw"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.codec.String(), func(t *testing.T) {
+			cfg := base
+			cfg.Codec = tc.codec
+			cfg.DownlinkCodec = tc.down
+			h, err := Run(mdl, fed, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			up := h.Final().Cost.UplinkBytes
+			if ratio := float64(refUp) / float64(up); ratio < 4 {
+				t.Errorf("uplink compression %.2fx < 4x (%d vs %d bytes)", ratio, up, refUp)
+			}
+			loss := h.Final().TrainLoss
+			if rel := (loss - refLoss) / refLoss; rel > 0.10 {
+				t.Errorf("final loss %.4f is %.1f%% above uncompressed %.4f (budget 10%%)",
+					loss, 100*rel, refLoss)
+			}
+		})
+	}
+}
+
+// TestCodecRejectsCheckpointing documents that link state (residuals,
+// rounding streams, broadcast shadows) is not checkpointed yet.
+func TestCodecRejectsCheckpointing(t *testing.T) {
+	cfg := FedProx(2, 2, 1, 0.01, 1)
+	cfg.Codec = comm.Spec{Name: "qsgd"}
+	cfg.Checkpointer = &nopCheckpointer{}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("codec + checkpointer accepted")
+	}
+}
+
+type nopCheckpointer struct{}
+
+func (nopCheckpointer) Load() (int, []float64, *History, error) { return 0, nil, nil, nil }
+func (nopCheckpointer) Save(int, []float64, *History) error     { return nil }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"fedprox/internal/comm"
+)
+
+// commLinks is the simulator's view of the network codec state: one
+// comm.LinkState holding, per device, the downlink and uplink codec
+// instances and the last delivered broadcast. It is the same state the
+// fednet runtime keeps at its two endpoints, which is why a
+// codec-enabled simulator run and a fednet run under the same seed see
+// identical compressed streams.
+type commLinks struct {
+	state *comm.LinkState
+}
+
+func newCommLinks(downSpec, upSpec comm.Spec) (*commLinks, error) {
+	state, err := comm.NewLinkState(downSpec, upSpec)
+	if err != nil {
+		return nil, err
+	}
+	return &commLinks{state: state}, nil
+}
+
+// broadcast encodes wt for device k's downlink, decodes it as the device
+// will, and returns the device's view of the global model plus the wire
+// bytes moved. It also creates the device's uplink codec on first
+// contact, so the parallel solve phase only ever reads the link maps —
+// call broadcast sequentially, one round at a time.
+func (l *commLinks) broadcast(k int, wt []float64) ([]float64, int64, error) {
+	enc, _, err := l.state.Link(k)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: device %d: %w", k, err)
+	}
+	prev := l.state.Prev(k)
+	u := enc.Encode(wt, prev)
+	view, err := enc.Decode(u, prev)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: downlink decode for device %d: %w", k, err)
+	}
+	l.state.SetPrev(k, view)
+	return view, u.WireBytes(), nil
+}
+
+// uplink encodes the device's local solution against the broadcast view
+// it trained from and returns the coordinator's decoded version plus the
+// wire bytes moved. Safe to call concurrently for distinct devices once
+// broadcast has created their codecs.
+func (l *commLinks) uplink(k int, wk, view []float64) ([]float64, int64, error) {
+	_, enc, err := l.state.Link(k)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: device %d: %w", k, err)
+	}
+	u := enc.Encode(wk, view)
+	got, err := enc.Decode(u, view)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: uplink decode for device %d: %w", k, err)
+	}
+	return got, u.WireBytes(), nil
+}

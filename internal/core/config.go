@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/privacy"
 	"fedprox/internal/solver"
 )
@@ -143,6 +144,26 @@ type Config struct {
 	// CheckpointEvery is the checkpoint interval in rounds; 0 selects
 	// EvalEvery.
 	CheckpointEvery int
+	// Codec, when enabled (non-empty Name), compresses every model
+	// transfer: each contacted device trains from the decoded broadcast
+	// and the server aggregates decoded uplink updates, with
+	// UplinkBytes/DownlinkBytes recording the encoded wire sizes. The
+	// zero value keeps today's uncompressed path and byte accounting.
+	//
+	// With a codec the link model is explicit — only contacted devices
+	// move bytes or spend epochs, so under DropStragglers the
+	// coordinator skips stragglers outright (as the fednet runtime
+	// does) instead of charging them a download and wasted epochs.
+	// Codec.Seed zero derives the rounding streams from Seed.
+	Codec comm.Spec
+	// DownlinkCodec, when enabled, overrides Codec for the broadcast
+	// direction only, giving the two link directions different codecs —
+	// the deployment shape where the device uplink is the scarce
+	// resource (e.g. topk uplink over a raw or quantized downlink; topk
+	// on the chained broadcast starves devices of most coordinate
+	// updates and slows convergence badly). Requires Codec to be
+	// enabled.
+	DownlinkCodec comm.Spec
 	// Capability, when non-nil, replaces the designated-straggler
 	// simulation with the capability-driven model of internal/syshet: each
 	// device's epoch budget is derived from its simulated hardware and the
@@ -197,7 +218,42 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Codec.Enabled() {
+		if err := c.Codec.Validate(); err != nil {
+			return err
+		}
+		if err := c.DownlinkCodec.Validate(); err != nil {
+			return err
+		}
+		if c.Checkpointer != nil {
+			return fmt.Errorf("core: codecs and checkpointing cannot be combined (link state is not checkpointed)")
+		}
+	} else if c.DownlinkCodec.Enabled() {
+		return fmt.Errorf("core: DownlinkCodec requires Codec to be enabled")
+	}
 	return nil
+}
+
+// CommSpecs returns the per-direction codec specs with defaults applied
+// and rounding seeds derived from the run seed when unset — the resolved
+// form the simulator and the fednet runtime share so their codec streams
+// match. Both are zero when no codec is configured.
+func (c Config) CommSpecs() (down, up comm.Spec) {
+	if !c.Codec.Enabled() {
+		return comm.Spec{}, comm.Spec{}
+	}
+	up = c.Codec
+	if up.Seed == 0 {
+		up.Seed = c.Seed
+	}
+	down = up
+	if c.DownlinkCodec.Enabled() {
+		down = c.DownlinkCodec
+		if down.Seed == 0 {
+			down.Seed = c.Seed
+		}
+	}
+	return down.WithDefaults(), up.WithDefaults()
 }
 
 // withDefaults returns c with zero-valued optional knobs filled in.

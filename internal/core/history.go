@@ -35,8 +35,15 @@ type Point struct {
 // while FedProx converts the same device work into progress.
 type Cost struct {
 	// UplinkBytes and DownlinkBytes count model transfers: every selected
-	// device downloads wᵗ; only aggregated devices upload a model.
+	// device downloads wᵗ; only aggregated devices upload a model. With a
+	// Config.Codec these are the encoded wire sizes (comm.Update.WireBytes)
+	// of the transfers that actually happened.
 	UplinkBytes, DownlinkBytes int64
+	// WireUplinkBytes and WireDownlinkBytes are actual serialized bytes
+	// measured on the transport, including protocol framing and
+	// evaluation traffic. Only the fednet runtime fills these; the
+	// simulator's analytic accounting lives in Uplink/DownlinkBytes.
+	WireUplinkBytes, WireDownlinkBytes int64
 	// DeviceEpochs is the total local epochs executed across all devices,
 	// including work the server later discarded.
 	DeviceEpochs int
@@ -49,6 +56,8 @@ type Cost struct {
 func (c *Cost) Add(o Cost) {
 	c.UplinkBytes += o.UplinkBytes
 	c.DownlinkBytes += o.DownlinkBytes
+	c.WireUplinkBytes += o.WireUplinkBytes
+	c.WireDownlinkBytes += o.WireDownlinkBytes
 	c.DeviceEpochs += o.DeviceEpochs
 	c.WastedEpochs += o.WastedEpochs
 }

@@ -23,6 +23,14 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 	env := NewEnv(fed, cfg)
 	w := m.InitParams(env.InitRNG())
 
+	var links *commLinks
+	if cfg.Codec.Enabled() {
+		var err error
+		if links, err = newCommLinks(cfg.CommSpecs()); err != nil {
+			return nil, err
+		}
+	}
+
 	var muc *muController
 	if cfg.AdaptiveMu {
 		muc = newMuController(cfg.Mu, cfg.MuStep, cfg.MuPatience)
@@ -80,7 +88,10 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 		if muc != nil {
 			mu = muc.Mu()
 		}
-		updates, gammaMean := runRound(m, fed, env, t, mu, w)
+		updates, gammaMean, err := runRound(m, fed, env, t, mu, w, links)
+		if err != nil {
+			return nil, err
+		}
 		cost.Add(updates.cost)
 
 		if len(updates.params) > 0 {
@@ -116,16 +127,40 @@ type updateSet struct {
 // runRound performs the local solves of round t from the broadcast global
 // model wt at proximal coefficient mu and returns the set of updates to
 // aggregate plus the mean achieved γ (NaN unless tracking is enabled).
-func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, wt []float64) (updateSet, float64) {
+// With links non-nil every transfer passes through the configured codec.
+func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, wt []float64, links *commLinks) (updateSet, float64, error) {
 	cfg := env.Config()
 	selected := env.SelectDevices(t)
 	epochs, straggler := env.StragglerPlan(t, selected)
+	dropped := func(i int) bool { return cfg.Straggler == DropStragglers && straggler[i] }
+
+	// Broadcast: with a codec, each contacted device receives an encoded
+	// (possibly lossy) view of wᵗ over its downlink and trains from that
+	// view. Encoding is sequential — it advances per-device link state —
+	// but the per-device codecs it creates are then only read in the
+	// parallel phase below.
+	views := make([][]float64, len(selected))
+	downBytes := make([]int64, len(selected))
+	for i, k := range selected {
+		views[i] = wt
+		if links == nil || dropped(i) {
+			continue
+		}
+		view, nbytes, err := links.broadcast(k, wt)
+		if err != nil {
+			return updateSet{}, 0, err
+		}
+		views[i] = view
+		downBytes[i] = nbytes
+	}
 
 	type result struct {
-		w     []float64
-		nk    float64
-		gamma float64
-		ok    bool
+		w       []float64
+		nk      float64
+		gamma   float64
+		upBytes int64
+		ok      bool
+		err     error
 	}
 	results := make([]result, len(selected))
 
@@ -141,43 +176,74 @@ func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, w
 
 	parallelFor(len(selected), cfg.Parallelism, func(i int) {
 		k := selected[i]
-		if cfg.Straggler == DropStragglers && straggler[i] {
+		if dropped(i) {
 			return // dropped: the server never sees this device's work
 		}
 		shard := fed.Shards[k]
-		// Every device trains from the same broadcast wᵗ; wt is read-only
-		// until all workers in this round finish.
-		wk := local.Solve(m, shard.Train, wt, scfg, epochs[i], env.BatchRNG(t, k))
+		// Every device trains from its view of the broadcast wᵗ (wt itself
+		// without a codec); the view is read-only until all workers in this
+		// round finish.
+		view := views[i]
+		wk := local.Solve(m, shard.Train, view, scfg, epochs[i], env.BatchRNG(t, k))
 		if cfg.Privacy != nil {
-			cfg.Privacy.Apply(wk, wt, t, k)
+			cfg.Privacy.Apply(wk, view, t, k)
 		}
-		res := result{w: wk, nk: float64(len(shard.Train)), ok: true}
+		res := result{nk: float64(len(shard.Train)), ok: true}
 		if cfg.TrackGamma {
-			res.gamma = solver.Gamma(m, shard.Train, wk, wt, scfg)
+			// γ measures the device's true local solution against the
+			// broadcast it received, before any uplink loss.
+			res.gamma = solver.Gamma(m, shard.Train, wk, view, scfg)
 		}
+		if links != nil {
+			wkHat, nbytes, err := links.uplink(k, wk, view)
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			wk = wkHat
+			res.upBytes = nbytes
+		}
+		res.w = wk
 		results[i] = res
 	})
 
 	var set updateSet
-	// Resource accounting: every selected device downloads wᵗ and performs
-	// its epoch budget (real devices can't know in advance they'll be
-	// dropped); only aggregated devices upload. Dropped stragglers' epochs
-	// are wasted work — the systems cost of FedAvg's policy.
-	paramBytes := int64(m.NumParams() * 8)
-	for i := range selected {
-		set.cost.DownlinkBytes += paramBytes
-		set.cost.DeviceEpochs += epochs[i]
-		if cfg.Straggler == DropStragglers && straggler[i] {
-			set.cost.WastedEpochs += epochs[i]
-		} else {
-			set.cost.UplinkBytes += paramBytes
+	// Resource accounting. Without a codec this is the historical model:
+	// every selected device downloads wᵗ and performs its epoch budget
+	// (real devices can't know in advance they'll be dropped); only
+	// aggregated devices upload, and dropped stragglers' epochs are wasted
+	// work — the systems cost of FedAvg's policy. With a codec the link is
+	// explicit: only contacted devices move bytes or spend epochs, and the
+	// byte counts are the encoded wire sizes.
+	if links == nil {
+		paramBytes := int64(m.NumParams() * 8)
+		for i := range selected {
+			set.cost.DownlinkBytes += paramBytes
+			set.cost.DeviceEpochs += epochs[i]
+			if dropped(i) {
+				set.cost.WastedEpochs += epochs[i]
+			} else {
+				set.cost.UplinkBytes += paramBytes
+			}
+		}
+	} else {
+		for i := range selected {
+			if dropped(i) {
+				continue
+			}
+			set.cost.DownlinkBytes += downBytes[i]
+			set.cost.DeviceEpochs += epochs[i]
 		}
 	}
 	gammaSum, gammaN := 0.0, 0
 	for _, r := range results {
+		if r.err != nil {
+			return updateSet{}, 0, r.err
+		}
 		if !r.ok {
 			continue
 		}
+		set.cost.UplinkBytes += r.upBytes
 		set.params = append(set.params, r.w)
 		set.weights = append(set.weights, r.nk)
 		if cfg.TrackGamma {
@@ -189,7 +255,7 @@ func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, w
 	if gammaN > 0 {
 		gamma = gammaSum / float64(gammaN)
 	}
-	return set, gamma
+	return set, gamma, nil
 }
 
 // aggregate folds the round's updates into w in place.
@@ -252,6 +318,12 @@ func Label(cfg Config) string {
 	}
 	if cfg.Solver != nil && cfg.Solver.Name() != "sgd" {
 		base += "+" + cfg.Solver.Name()
+	}
+	if cfg.Codec.Enabled() {
+		base += " @" + cfg.Codec.String()
+		if cfg.DownlinkCodec.Enabled() && cfg.DownlinkCodec != cfg.Codec {
+			base += "/down:" + cfg.DownlinkCodec.String()
+		}
 	}
 	return base
 }

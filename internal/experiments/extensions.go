@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/data"
 	"fedprox/internal/data/imagesim"
@@ -61,6 +62,12 @@ func extBias(o Options) (*Result, error) {
 		Title: "systematic stragglers hold classes 0-1: per-class accuracy under drop vs aggregate",
 	}
 	sec := Section{Name: fed.Name}
+	if base.Codec.Enabled() {
+		// This experiment measures per-class accuracy, not bytes, and its
+		// capture checkpointer cannot combine with codec link state.
+		base.Codec, base.DownlinkCodec = comm.Spec{}, comm.Spec{}
+		sec.Notes = append(sec.Notes, "update codec ignored here (bias experiment uses checkpoint capture)")
+	}
 	for _, policy := range []core.StragglerPolicy{core.DropStragglers, core.AggregatePartial} {
 		cfg := base
 		cfg.Straggler = policy

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/data"
 	"fedprox/internal/data/femnistsim"
@@ -30,7 +31,7 @@ func init() {
 
 // base returns the shared configuration for one workload under o.
 func (o Options) base(w workload) core.Config {
-	return core.Config{
+	cfg := core.Config{
 		Rounds:          w.rounds,
 		ClientsPerRound: o.ClientsPerRound,
 		LocalEpochs:     o.LocalEpochs,
@@ -40,6 +41,13 @@ func (o Options) base(w workload) core.Config {
 		Seed:            o.Seed,
 		Parallelism:     o.Parallelism,
 	}
+	if o.Codec != "" {
+		cfg.Codec = comm.Spec{Name: o.Codec, Bits: o.CodecBits, TopK: o.CodecTopK}
+		if o.DownlinkCodec != "" {
+			cfg.DownlinkCodec = comm.Spec{Name: o.DownlinkCodec, Bits: o.CodecBits, TopK: o.CodecTopK}
+		}
+	}
+	return cfg
 }
 
 func fedavg(c core.Config) core.Config {

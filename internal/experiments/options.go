@@ -32,6 +32,16 @@ type Options struct {
 	Seed uint64
 	// Parallelism bounds concurrent local solves (0 = GOMAXPROCS).
 	Parallelism int
+	// Codec names a model-update codec (see internal/comm) applied to
+	// every run's transfers; empty keeps the uncompressed wire.
+	Codec string
+	// CodecBits is the qsgd bit width (0 selects the comm default).
+	CodecBits int
+	// CodecTopK is the topk kept fraction (0 selects the comm default).
+	CodecTopK float64
+	// DownlinkCodec optionally overrides Codec on the broadcast
+	// direction (e.g. "raw" to sparsify only the uplink).
+	DownlinkCodec string
 }
 
 // Fast returns miniature settings for benchmarks and CI: every experiment

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/frand"
 	"fedprox/internal/model"
@@ -32,6 +35,16 @@ type ServerConfig struct {
 type Server struct {
 	mdl model.Model
 	cfg ServerConfig
+
+	// downSpec/upSpec are the negotiated codec specs ("raw" when the
+	// training config carries no codec, so the wire always moves
+	// comm.Updates).
+	downSpec comm.Spec
+	upSpec   comm.Spec
+
+	// bytesIn/bytesOut meter actual serialized traffic across all worker
+	// connections.
+	bytesIn, bytesOut atomic.Int64
 
 	mu      sync.Mutex
 	conns   []*conn
@@ -64,11 +77,29 @@ func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
 	if cfg.ExpectDevices <= 0 {
 		return nil, errors.New("fednet: ExpectDevices must be positive")
 	}
+	down, up := cfg.Training.CommSpecs()
+	if !up.Enabled() {
+		// The wire protocol always carries encoded updates; no codec
+		// means raw, which reproduces the uncompressed trajectory bit
+		// for bit.
+		raw := core.Config{Codec: comm.Spec{Name: "raw"}, Seed: cfg.Training.Seed}
+		down, up = raw.CommSpecs()
+	}
 	return &Server{
-		mdl:     mdl,
-		cfg:     cfg,
-		devices: make(map[int]*device),
+		mdl:      mdl,
+		cfg:      cfg,
+		downSpec: down,
+		upSpec:   up,
+		devices:  make(map[int]*device),
 	}, nil
+}
+
+// BytesOnWire returns the actual serialized bytes moved over all worker
+// connections so far: read is worker→coordinator traffic (uplink),
+// written is coordinator→worker (downlink). Both include gob framing and
+// evaluation messages, which the analytic Cost accounting excludes.
+func (s *Server) BytesOnWire() (read, written int64) {
+	return s.bytesIn.Load(), s.bytesOut.Load()
 }
 
 // Run listens on addr, waits for every device to register, executes the
@@ -83,12 +114,15 @@ func (s *Server) Run(addr string) (*core.History, error) {
 }
 
 // RunWithListener is Run over a caller-provided listener (tests use an
-// ephemeral loopback listener).
+// ephemeral loopback listener). Workers that registered are always shut
+// down, including when registration itself fails partway (e.g. a
+// later-connecting worker refuses the codec) — otherwise the
+// already-welcomed workers would block in recv forever.
 func (s *Server) RunWithListener(ln net.Listener) (*core.History, error) {
+	defer s.shutdownWorkers()
 	if err := s.acceptAll(ln); err != nil {
 		return nil, err
 	}
-	defer s.shutdownWorkers()
 	return s.train()
 }
 
@@ -101,7 +135,7 @@ func (s *Server) acceptAll(ln net.Listener) error {
 		if err != nil {
 			return fmt.Errorf("fednet: accept: %w", err)
 		}
-		c := newConn(raw)
+		c := newConn(meteredConn{Conn: raw, read: &s.bytesIn, written: &s.bytesOut})
 		env, err := c.recv()
 		if err != nil {
 			return err
@@ -110,6 +144,22 @@ func (s *Server) acceptAll(ln net.Listener) error {
 			return fmt.Errorf("fednet: expected Hello, got %+v", env)
 		}
 		s.conns = append(s.conns, c)
+		// Codec negotiation: the worker must offer both directions'
+		// codecs; an empty offer means raw only.
+		offered := env.Hello.Codecs
+		if len(offered) == 0 {
+			offered = []string{"raw"}
+		}
+		for _, want := range []string{s.downSpec.Name, s.upSpec.Name} {
+			if !slices.Contains(offered, want) {
+				msg := fmt.Sprintf("fednet: coordinator requires codec %q, worker offers %v", want, offered)
+				_ = c.send(Envelope{Welcome: &Welcome{Err: msg}})
+				return errors.New(msg)
+			}
+		}
+		if err := c.send(Envelope{Welcome: &Welcome{Downlink: s.downSpec, Uplink: s.upSpec}}); err != nil {
+			return err
+		}
 		for _, d := range env.Hello.Devices {
 			if d.ID < 0 || d.ID >= s.cfg.ExpectDevices {
 				return fmt.Errorf("fednet: device ID %d outside [0,%d)", d.ID, s.cfg.ExpectDevices)
@@ -160,21 +210,39 @@ func (s *Server) train() (*core.History, error) {
 
 	w := s.mdl.InitParams(initRng)
 
+	// Per-device codec state, the coordinator's half of every link: the
+	// downlink encoders with shadows of the last decoded broadcast (what
+	// each worker holds) plus decoders for uplink replies.
+	links, err := comm.NewLinkState(s.downSpec, s.upSpec)
+	if err != nil {
+		return nil, err
+	}
+	// Without a configured codec the wire still moves raw comm.Updates,
+	// but the recorded Cost keeps the simulator's historical semantics:
+	// every selected device is charged a full-model download and its
+	// epoch budget, dropped stragglers' epochs count as waste.
+	legacyAccounting := !cfg.Codec.Enabled()
+	paramBytes := int64(s.mdl.NumParams() * 8)
+	var acc core.Cost // cumulative analytic accounting
+
 	hist := &core.History{Label: core.Label(cfg) + " [fednet]"}
 	record := func(round int, mu float64, participants int) error {
-		loss, acc, err := s.evaluate(w, weights)
+		loss, tacc, err := s.evaluate(w, weights)
 		if err != nil {
 			return err
 		}
+		cost := acc
+		cost.WireUplinkBytes, cost.WireDownlinkBytes = s.BytesOnWire()
 		hist.Points = append(hist.Points, core.Point{
 			Round:        round,
 			TrainLoss:    loss,
-			TestAcc:      acc,
+			TestAcc:      tacc,
 			GradVar:      math.NaN(),
 			B:            math.NaN(),
 			Mu:           mu,
 			MeanGamma:    math.NaN(),
 			Participants: participants,
+			Cost:         cost,
 		})
 		return nil
 	}
@@ -209,11 +277,45 @@ func (s *Server) train() (*core.History, error) {
 			}
 		}
 
+		// Broadcast phase, sequential: encoding advances per-device link
+		// state (rounding streams, residuals, broadcast shadows), exactly
+		// as the simulator does before its parallel solves.
+		updates := make([]*comm.Update, len(selected))
+		views := make([][]float64, len(selected))
+		upDec := make([]comm.Codec, len(selected))
+		for i, id := range selected {
+			if cfg.Straggler == core.DropStragglers && straggler[i] {
+				if legacyAccounting {
+					acc.DownlinkBytes += paramBytes
+					acc.DeviceEpochs += epochs[i]
+					acc.WastedEpochs += epochs[i]
+				}
+				continue // never contacted
+			}
+			enc, dec, err := links.Link(id)
+			if err != nil {
+				return nil, err
+			}
+			prev := links.Prev(id)
+			u := enc.Encode(w, prev)
+			view, err := enc.Decode(u, prev)
+			if err != nil {
+				return nil, fmt.Errorf("fednet: round %d device %d downlink: %w", t, id, err)
+			}
+			links.SetPrev(id, view)
+			updates[i] = u
+			views[i] = view
+			upDec[i] = dec
+			acc.DownlinkBytes += u.WireBytes()
+			acc.DeviceEpochs += epochs[i]
+		}
+
 		type result struct {
-			id     int
-			params []float64
-			nk     float64
-			err    error
+			id      int
+			params  []float64
+			nk      float64
+			upBytes int64
+			err     error
 		}
 		results := make([]result, len(selected))
 		var wg sync.WaitGroup
@@ -230,7 +332,7 @@ func (s *Server) train() (*core.History, error) {
 				req := TrainRequest{
 					Round:        t,
 					Device:       id,
-					Params:       w,
+					Update:       *updates[i],
 					Epochs:       ep,
 					Mu:           cfg.Mu,
 					LearningRate: cfg.LearningRate,
@@ -251,7 +353,15 @@ func (s *Server) train() (*core.History, error) {
 					results[i] = result{id: id, err: errors.New(reply.Err)}
 					return
 				}
-				results[i] = result{id: id, params: reply.Params, nk: float64(d.trainSize)}
+				// Decode the uplink against the broadcast view the device
+				// trained from — both sides hold it exactly. Decoding is
+				// stateless, so doing it in-goroutine is safe.
+				wk, err := upDec[i].Decode(&reply.Update, views[i])
+				if err != nil {
+					results[i] = result{id: id, err: err}
+					return
+				}
+				results[i] = result{id: id, params: wk, nk: float64(d.trainSize), upBytes: reply.Update.WireBytes()}
 			}(i, id, epochs[i])
 		}
 		wg.Wait()
@@ -265,6 +375,7 @@ func (s *Server) train() (*core.History, error) {
 			if r.err != nil {
 				return nil, fmt.Errorf("fednet: round %d device %d: %w", t, r.id, r.err)
 			}
+			acc.UplinkBytes += r.upBytes
 			params = append(params, r.params)
 			nks = append(nks, r.nk)
 		}

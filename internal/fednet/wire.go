@@ -4,11 +4,14 @@
 // where raw examples never leave the device.
 //
 // The protocol is length-unframed gob over TCP. Each worker registers the
-// devices (shards) it hosts; every round the coordinator selects devices,
-// ships the global parameters with the round's subproblem hyperparameters
-// and a batch-order seed, and aggregates the returned models. Evaluation
-// is also distributed: workers report per-device loss and accuracy sums
-// and the coordinator combines them, so the server never touches data.
+// devices (shards) it hosts and the update codecs it supports; the
+// coordinator answers with a Welcome carrying the codec specs the
+// deployment will use (negotiated at Hello time). Every round the
+// coordinator selects devices, ships the encoded global parameters with
+// the round's subproblem hyperparameters and a batch-order seed, and
+// aggregates the decoded returned models. Evaluation is also distributed:
+// workers report per-device loss and accuracy sums and the coordinator
+// combines them, so the server never touches data.
 //
 // The environment streams (selection, stragglers, batch order, init)
 // mirror internal/core exactly, so a fednet run with the same seed and
@@ -21,6 +24,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"fedprox/internal/comm"
 )
 
 // DeviceInfo describes one shard a worker hosts.
@@ -35,6 +41,22 @@ type DeviceInfo struct {
 type Hello struct {
 	// Devices lists every shard this worker hosts.
 	Devices []DeviceInfo
+	// Codecs lists the update codecs this worker supports. The
+	// coordinator refuses the deployment (via Welcome.Err) if its
+	// configured codec is not offered. An empty list offers only "raw".
+	Codecs []string
+}
+
+// Welcome is the coordinator's reply to a Hello: the codec negotiation
+// result every endpoint must honour for the rest of the session.
+type Welcome struct {
+	// Downlink and Uplink are the resolved per-direction codec specs
+	// (seed included), shared so worker-side streams match the
+	// coordinator's and the simulator's.
+	Downlink comm.Spec
+	Uplink   comm.Spec
+	// Err, when non-empty, aborts the session (e.g. codec not offered).
+	Err string
 }
 
 // TrainRequest asks a worker to run one local solve.
@@ -43,8 +65,9 @@ type TrainRequest struct {
 	Round int
 	// Device is the shard to train on.
 	Device int
-	// Params is the broadcast global model wᵗ.
-	Params []float64
+	// Update is the encoded broadcast global model wᵗ for this device's
+	// downlink, decoded against the device's last decoded broadcast.
+	Update comm.Update
 	// Epochs is the device's epoch budget for this round.
 	Epochs int
 	// Mu, LearningRate, BatchSize parameterize the local subproblem.
@@ -59,7 +82,9 @@ type TrainRequest struct {
 type TrainReply struct {
 	Round  int
 	Device int
-	Params []float64
+	// Update is the encoded local solution for the device's uplink,
+	// decoded against the broadcast view the device trained from.
+	Update comm.Update
 	// Err carries a worker-side failure description ("" on success).
 	Err string
 }
@@ -94,11 +119,33 @@ type Shutdown struct{}
 // Envelope is the single wire type; exactly one field is non-nil.
 type Envelope struct {
 	Hello        *Hello
+	Welcome      *Welcome
 	TrainRequest *TrainRequest
 	TrainReply   *TrainReply
 	EvalRequest  *EvalRequest
 	EvalReply    *EvalReply
 	Shutdown     *Shutdown
+}
+
+// meteredConn counts the raw bytes crossing a net.Conn, so the
+// coordinator can report actual serialized wire traffic (gob framing and
+// evaluation messages included) alongside the codecs' analytic
+// accounting.
+type meteredConn struct {
+	net.Conn
+	read, written *atomic.Int64
+}
+
+func (m meteredConn) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p)
+	m.read.Add(int64(n))
+	return n, err
+}
+
+func (m meteredConn) Write(p []byte) (int, error) {
+	n, err := m.Conn.Write(p)
+	m.written.Add(int64(n))
+	return n, err
 }
 
 // conn wraps a net.Conn with gob codecs and two locks: mu guards the

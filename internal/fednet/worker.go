@@ -1,9 +1,12 @@
 package fednet
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"slices"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/data"
 	"fedprox/internal/frand"
 	"fedprox/internal/model"
@@ -16,6 +19,19 @@ type Worker struct {
 	mdl    model.Model
 	shards map[int]*data.Shard
 	local  solver.LocalSolver
+
+	// Offer restricts which update codecs this worker advertises in its
+	// Hello; nil advertises every codec comm registers. The coordinator
+	// aborts the session if its configured codec is not offered.
+	Offer []string
+
+	// links is the worker's half of every hosted device's link state,
+	// installed by the coordinator's Welcome: downlink decoders with the
+	// last decoded broadcast per device, and stateful uplink encoders
+	// (rounding streams, error-feedback residuals). NewWorker seeds it
+	// with the raw codec so a worker can also be driven directly in
+	// tests.
+	links *comm.LinkState
 }
 
 // NewWorker builds a worker hosting the given shards. A nil localSolver
@@ -32,6 +48,8 @@ func NewWorker(mdl model.Model, shards []*data.Shard, localSolver solver.LocalSo
 		byID[s.ID] = s
 	}
 	w := &Worker{mdl: mdl, shards: byID, local: localSolver}
+	raw := comm.Spec{Name: "raw"}.WithDefaults()
+	w.links, _ = comm.NewLinkState(raw, raw)
 	return w
 }
 
@@ -55,13 +73,40 @@ func (w *Worker) ServeConn(raw net.Conn) error {
 	return w.Serve(c)
 }
 
-// Serve registers over c and processes requests until Shutdown.
+// Serve registers over c, completes the codec negotiation, and processes
+// requests until Shutdown.
 func (w *Worker) Serve(c *conn) error {
-	hello := Hello{}
+	hello := Hello{Codecs: w.Offer}
+	if hello.Codecs == nil {
+		hello.Codecs = comm.Names()
+	}
 	for id, s := range w.shards {
 		hello.Devices = append(hello.Devices, DeviceInfo{ID: id, TrainSize: len(s.Train)})
 	}
 	if err := c.send(Envelope{Hello: &hello}); err != nil {
+		return err
+	}
+	env, err := c.recv()
+	if err != nil {
+		return err
+	}
+	welcome := env.Welcome
+	if welcome == nil {
+		return fmt.Errorf("fednet: expected Welcome, got %+v", env)
+	}
+	if welcome.Err != "" {
+		return errors.New(welcome.Err)
+	}
+	// Honour our own offer: a coordinator (version-skewed or
+	// misbehaving) must not be able to install a codec this worker
+	// explicitly declined to advertise.
+	for _, name := range []string{welcome.Downlink.Name, welcome.Uplink.Name} {
+		if !slices.Contains(hello.Codecs, name) {
+			return fmt.Errorf("fednet: coordinator selected codec %q, but this worker offered only %v", name, hello.Codecs)
+		}
+	}
+	w.links, err = comm.NewLinkState(welcome.Downlink, welcome.Uplink)
+	if err != nil {
 		return err
 	}
 	for {
@@ -95,16 +140,28 @@ func (w *Worker) train(req *TrainRequest) TrainReply {
 		reply.Err = fmt.Sprintf("device %d not hosted here", req.Device)
 		return reply
 	}
-	if len(req.Params) != w.mdl.NumParams() {
-		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(req.Params), w.mdl.NumParams())
+	dec, enc, err := w.links.Link(req.Device)
+	if err != nil {
+		reply.Err = err.Error()
 		return reply
 	}
+	view, err := dec.Decode(&req.Update, w.links.Prev(req.Device))
+	if err != nil {
+		reply.Err = err.Error()
+		return reply
+	}
+	if len(view) != w.mdl.NumParams() {
+		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(view), w.mdl.NumParams())
+		return reply
+	}
+	w.links.SetPrev(req.Device, view)
 	cfg := solver.Config{
 		LearningRate: req.LearningRate,
 		BatchSize:    req.BatchSize,
 		Mu:           req.Mu,
 	}
-	reply.Params = w.local.Solve(w.mdl, shard.Train, req.Params, cfg, req.Epochs, frand.New(req.BatchSeed))
+	wk := w.local.Solve(w.mdl, shard.Train, view, cfg, req.Epochs, frand.New(req.BatchSeed))
+	reply.Update = *enc.Encode(wk, view)
 	return reply
 }
 
