@@ -23,19 +23,25 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list), or \"all\"")
-		list     = flag.Bool("list", false, "list available experiments")
-		fast     = flag.Bool("fast", false, "use the miniature preset (seconds per figure)")
-		series   = flag.Bool("series", false, "print full per-round series, not just the summary")
-		csvPath  = flag.String("csv", "", "also write every evaluated point as CSV to this file")
-		datasets = flag.String("datasets", "", "comma-separated subset of synthetic,mnist,femnist,shakespeare,sent140")
-		rounds   = flag.Int("rounds", 0, "override communication rounds for convex workloads")
-		seed     = flag.Uint64("seed", 0, "override environment seed")
-		scale    = flag.Float64("scale", 0, "override dataset scale factor")
-		codec    = flag.String("codec", "", "apply a model-update codec to every run (see internal/comm)")
-		downCdc  = flag.String("downlink-codec", "", "override -codec on the broadcast direction")
-		bits     = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
-		topk     = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
+		exp       = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		list      = flag.Bool("list", false, "list available experiments")
+		fast      = flag.Bool("fast", false, "use the miniature preset (seconds per figure)")
+		series    = flag.Bool("series", false, "print full per-round series, not just the summary")
+		csvPath   = flag.String("csv", "", "also write every evaluated point as CSV to this file")
+		jsonPath  = flag.String("json", "", "write machine-readable run summaries (BENCH_*.json) to this file")
+		baseline  = flag.String("baseline", "", "compare against a committed BENCH_*.json and exit non-zero on loss regressions")
+		tolerance = flag.Float64("tolerance", 0.05, "relative final-loss budget for -baseline (0.05 = 5%)")
+		datasets  = flag.String("datasets", "", "comma-separated subset of synthetic,mnist,femnist,shakespeare,sent140")
+		rounds    = flag.Int("rounds", 0, "override communication rounds for convex workloads")
+		seed      = flag.Uint64("seed", 0, "override environment seed")
+		scale     = flag.Float64("scale", 0, "override dataset scale factor")
+		codec     = flag.String("codec", "", "apply a model-update codec to every run (see internal/comm)")
+		downCdc   = flag.String("downlink-codec", "", "override -codec on the broadcast direction")
+		bits      = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
+		topk      = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
+		asyncA    = flag.Float64("async-alpha", 0, "ext-async base mixing rate (0 = core default)")
+		asyncP    = flag.Float64("async-staleness-exp", 0, "ext-async staleness damping exponent (0 = core default, negative = no damping)")
+		asyncK    = flag.Int("async-buffer-k", 0, "ext-async buffered flush size (0 = clients per round)")
 	)
 	flag.Parse()
 
@@ -76,6 +82,9 @@ func main() {
 	opts.DownlinkCodec = *downCdc
 	opts.CodecBits = *bits
 	opts.CodecTopK = *topk
+	opts.AsyncAlpha = *asyncA
+	opts.AsyncStalenessExp = *asyncP
+	opts.AsyncBufferK = *asyncK
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -93,6 +102,7 @@ func main() {
 		csvFile = f
 	}
 
+	var entries []experiments.BenchEntry
 	for _, id := range ids {
 		res, err := experiments.Run(id, opts)
 		if err != nil {
@@ -109,5 +119,43 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		entries = append(entries, res.BenchEntries()...)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = experiments.WriteBench(f, entries)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		base, err := experiments.ReadBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions := experiments.CompareBench(entries, base, *tolerance); len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "fedbench: %d loss regression(s) vs %s:\n", len(regressions), *baseline)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("baseline gate passed: no regressions vs %s (tolerance %.0f%%)\n", *baseline, 100**tolerance)
 	}
 }

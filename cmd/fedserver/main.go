@@ -26,21 +26,27 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":7070", "listen address")
-		workload   = flag.String("workload", "synthetic", "workload key: synthetic, synthetic-iid, mnist, femnist, shakespeare, sent140")
-		scale      = flag.Float64("scale", 0.25, "dataset scale factor (must match workers)")
-		rounds     = flag.Int("rounds", 50, "communication rounds")
-		clients    = flag.Int("clients", 10, "devices selected per round (K)")
-		epochs     = flag.Int("epochs", 20, "local epochs (E)")
-		mu         = flag.Float64("mu", 1, "proximal coefficient")
-		stragglers = flag.Float64("stragglers", 0.5, "straggler fraction per round")
-		drop       = flag.Bool("drop", false, "drop stragglers (FedAvg) instead of aggregating partial work")
-		evalEvery  = flag.Int("eval-every", 5, "evaluation interval in rounds")
-		seed       = flag.Uint64("seed", 7, "environment seed (must match workers' -data-seed usage)")
-		codec      = flag.String("codec", "", "model-update codec: "+strings.Join(comm.Names(), ", ")+" (empty = uncompressed)")
-		downCodec  = flag.String("downlink-codec", "", "override -codec on the broadcast direction (e.g. raw under -codec topk)")
-		bits       = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
-		topk       = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
+		addr        = flag.String("addr", ":7070", "listen address")
+		workload    = flag.String("workload", "synthetic", "workload key: synthetic, synthetic-iid, mnist, femnist, shakespeare, sent140")
+		scale       = flag.Float64("scale", 0.25, "dataset scale factor (must match workers)")
+		rounds      = flag.Int("rounds", 50, "communication rounds")
+		clients     = flag.Int("clients", 10, "devices selected per round (K)")
+		epochs      = flag.Int("epochs", 20, "local epochs (E)")
+		mu          = flag.Float64("mu", 1, "proximal coefficient")
+		stragglers  = flag.Float64("stragglers", 0.5, "straggler fraction per round")
+		drop        = flag.Bool("drop", false, "drop stragglers (FedAvg) instead of aggregating partial work")
+		evalEvery   = flag.Int("eval-every", 5, "evaluation interval in rounds")
+		seed        = flag.Uint64("seed", 7, "environment seed (must match workers' -data-seed usage)")
+		codec       = flag.String("codec", "", "model-update codec: "+strings.Join(comm.Names(), ", ")+" (empty = uncompressed)")
+		downCodec   = flag.String("downlink-codec", "", "override -codec on the broadcast direction (e.g. raw under -codec topk)")
+		bits        = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
+		topk        = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
+		asyncMode   = flag.String("async", "", "aggregation discipline: empty/sync (lock-step rounds), async (fold replies on arrival), buffered (flush every -buffer-k replies)")
+		alpha       = flag.Float64("alpha", 0, "async base mixing rate in (0,1] (0 = default)")
+		stalExp     = flag.Float64("staleness-exp", 0, "async staleness damping exponent p in alpha/(1+s)^p (0 = default, negative = no damping)")
+		bufferK     = flag.Int("buffer-k", 0, "buffered mode: replies per flush (0 = -clients)")
+		maxInFlight = flag.Int("max-in-flight", 0, "async modes: concurrently outstanding train requests (0 = -clients)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-reply timeout before a worker is declared dead (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -67,10 +73,32 @@ func main() {
 			cfg.DownlinkCodec = comm.Spec{Name: *downCodec, Bits: *bits, TopK: *topk}
 		}
 	}
+	switch *asyncMode {
+	case "", "sync":
+		if *alpha != 0 || *stalExp != 0 || *bufferK != 0 || *maxInFlight != 0 {
+			fail(fmt.Errorf("-alpha, -staleness-exp, -buffer-k, and -max-in-flight require -async"))
+		}
+	case "async":
+		if *bufferK != 0 {
+			fail(fmt.Errorf("-buffer-k applies only to -async buffered"))
+		}
+		cfg.Async = core.AsyncConfig{Mode: core.AsyncTotal, Alpha: *alpha, StalenessExponent: *stalExp, MaxInFlight: *maxInFlight}
+	case "buffered":
+		cfg.Async = core.AsyncConfig{Mode: core.Buffered, Alpha: *alpha, StalenessExponent: *stalExp, BufferK: *bufferK, MaxInFlight: *maxInFlight}
+	default:
+		fail(fmt.Errorf("unknown -async mode %q (sync, async, buffered)", *asyncMode))
+	}
+	if cfg.Async.Enabled() && *drop {
+		// The asynchronous modes have no round deadline to drop anyone
+		// at; partial straggler work is always folded (the FedProx
+		// policy). Refuse rather than silently ignore the request.
+		fail(fmt.Errorf("-drop (FedAvg straggler policy) requires synchronous rounds"))
+	}
 
 	srv, err := fednet.NewServer(w.Model, fednet.ServerConfig{
-		Training:      cfg,
-		ExpectDevices: w.Fed.NumDevices(),
+		Training:       cfg,
+		ExpectDevices:  w.Fed.NumDevices(),
+		RequestTimeout: *reqTimeout,
 	})
 	if err != nil {
 		fail(err)

@@ -148,17 +148,21 @@ func Names() []string {
 	return []string{"raw", "delta", "qsgd", "delta+qsgd", "topk"}
 }
 
-// Link directions. They name frand streams (so the two directions of a
+// Link directions. They name frand streams (so the directions of a
 // device's link are decorrelated) and select the error-feedback policy:
-// a Downlink link chains its base — both endpoints track the last
-// decoded broadcast, so any unsent mass automatically reappears in the
-// next transition and an explicit residual would double-count it. Every
-// other direction (Uplink in particular) has a one-shot base that is
-// known exactly on both sides each round, so unsent mass is gone unless
-// a residual carries it forward.
+// Downlink and Eval links chain their base — both endpoints track the
+// last decoded broadcast, so any unsent mass automatically reappears in
+// the next transition and an explicit residual would double-count it.
+// Uplink has a one-shot base that is known exactly on both sides each
+// round, so unsent mass is gone unless a residual carries it forward.
 const (
 	Downlink = "downlink"
 	Uplink   = "uplink"
+	// Eval is the shared evaluation broadcast: one chained link per
+	// deployment (device index 0 by convention) that ships the global
+	// model to every evaluator, separate from the per-device training
+	// downlinks so evaluation cadence never perturbs training streams.
+	Eval = "eval"
 )
 
 // ForDevice returns a fresh codec instance for one directed link
@@ -186,7 +190,7 @@ func (s Spec) ForDevice(direction string, device int) (Codec, error) {
 	case "delta+qsgd":
 		return &deltaCodec{name: "delta+qsgd", inner: &qsgdCodec{name: "qsgd", bits: s.Bits, rng: rng}}, nil
 	case "topk":
-		return &topkCodec{frac: s.TopK, ef: direction != Downlink}, nil
+		return &topkCodec{frac: s.TopK, ef: direction == Uplink}, nil
 	default:
 		return nil, fmt.Errorf("comm: unknown codec %q", s.Name)
 	}

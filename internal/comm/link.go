@@ -1,15 +1,25 @@
 package comm
 
+import "sync"
+
 // LinkState is one endpoint's per-device codec state: lazily created
 // downlink/uplink codec instances plus the last decoded broadcast per
 // device. The simulator's network model and both fednet endpoints
 // (coordinator and worker) share this type, so the three state machines
 // that must stay in lockstep for decoding to work cannot drift apart.
+//
+// LinkState is safe for concurrent use by goroutines handling distinct
+// devices: the internal maps are mutex-guarded, while the per-device
+// Codec instances themselves remain single-owner (the coordinator's
+// aggregation loop and each worker's per-device request handler — at
+// most one request is outstanding per device at any time).
 type LinkState struct {
 	downSpec, upSpec Spec
 	trackPrev        bool
-	down, up         map[int]Codec
-	prev             map[int][]float64
+
+	mu       sync.Mutex
+	down, up map[int]Codec
+	prev     map[int][]float64
 }
 
 // NewLinkState validates the per-direction specs and returns empty state.
@@ -34,10 +44,12 @@ func NewLinkState(down, up Spec) (*LinkState, error) {
 }
 
 // Link returns the device's codec pair, creating both directions on
-// first contact. Create links sequentially (e.g. during the broadcast
-// phase); afterwards the maps are only read, so per-device codecs may
-// be used from concurrent goroutines — one goroutine per device.
+// first contact. The returned instances are per-device single-owner
+// state: callers must not drive the same device's codecs from two
+// goroutines at once, but distinct devices may proceed concurrently.
 func (l *LinkState) Link(device int) (down, up Codec, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	down = l.down[device]
 	if down == nil {
 		if down, err = l.downSpec.ForDevice(Downlink, device); err != nil {
@@ -54,13 +66,75 @@ func (l *LinkState) Link(device int) (down, up Codec, err error) {
 // Prev returns the last decoded broadcast delivered on the device's
 // downlink (nil before first contact, or when the downlink codec does
 // not interpret payloads relative to it).
-func (l *LinkState) Prev(device int) []float64 { return l.prev[device] }
+func (l *LinkState) Prev(device int) []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.prev[device]
+}
 
 // SetPrev records the decoded broadcast after a downlink transfer. Both
 // endpoints of a link must call it with the same decoded value to stay
 // in lockstep.
 func (l *LinkState) SetPrev(device int, view []float64) {
 	if l.trackPrev {
+		l.mu.Lock()
 		l.prev[device] = view
+		l.mu.Unlock()
 	}
+}
+
+// EvalLink is the shared evaluation-broadcast link: a single chained
+// codec stream (direction Eval, device 0) that ships the global model to
+// every evaluator. The coordinator (or simulator) encodes each eval
+// broadcast once with Broadcast; every worker decodes it with Receive.
+// Both sides advance the same prev chain, so lossy codecs stay in
+// lockstep exactly as the training links do.
+type EvalLink struct {
+	mu        sync.Mutex
+	codec     Codec
+	trackPrev bool
+	prev      []float64
+}
+
+// NewEvalLink builds the eval link for the deployment's downlink spec.
+func NewEvalLink(down Spec) (*EvalLink, error) {
+	c, err := down.ForDevice(Eval, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &EvalLink{codec: c, trackPrev: down.UsesPrev()}, nil
+}
+
+// Broadcast encodes w against the link's prev chain, decodes it back as
+// every receiver will, advances the chain, and returns the encoded
+// update (send it to each evaluator verbatim) plus the decoded view the
+// evaluation happens at.
+func (l *EvalLink) Broadcast(w []float64) (*Update, []float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.codec.Encode(w, l.prev)
+	view, err := l.codec.Decode(u, l.prev)
+	if err != nil {
+		return nil, nil, err
+	}
+	if l.trackPrev {
+		l.prev = view
+	}
+	return u, view, nil
+}
+
+// Receive decodes one eval broadcast at the receiving endpoint and
+// advances its prev chain. Receivers must decode every broadcast in
+// order — the chain is shared state.
+func (l *EvalLink) Receive(u *Update) ([]float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	view, err := l.codec.Decode(u, l.prev)
+	if err != nil {
+		return nil, err
+	}
+	if l.trackPrev {
+		l.prev = view
+	}
+	return view, nil
 }

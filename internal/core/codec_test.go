@@ -48,9 +48,19 @@ func TestRawCodecMatchesUncompressed(t *testing.T) {
 		}
 		// AggregatePartial contacts every selected device, so the raw
 		// codec's contacted-only accounting coincides with the legacy
-		// accounting exactly.
-		if p.Cost != q.Cost {
-			t.Fatalf("round %d: cost %+v != %+v", p.Round, p.Cost, q.Cost)
+		// accounting exactly — except EvalBytes, which only the explicit
+		// codec link model charges (legacy accounting predates eval
+		// encoding and keeps it at zero).
+		pc, qc := p.Cost, q.Cost
+		if pc.EvalBytes != 0 {
+			t.Fatalf("round %d: legacy accounting charged eval bytes: %+v", p.Round, pc)
+		}
+		if q.Round > 0 && qc.EvalBytes == 0 {
+			t.Fatalf("round %d: codec accounting missed eval bytes: %+v", q.Round, qc)
+		}
+		qc.EvalBytes = 0
+		if pc != qc {
+			t.Fatalf("round %d: cost %+v != %+v", p.Round, pc, qc)
 		}
 	}
 }

@@ -14,6 +14,12 @@ import (
 // identical compressed streams.
 type commLinks struct {
 	state *comm.LinkState
+	// eval is the shared evaluation-broadcast link (see ROADMAP "Compress
+	// evaluation traffic"): with a codec configured, every evaluation
+	// happens at the decoded eval broadcast — exactly what the fednet
+	// workers compute their metrics from — and its encoded size lands in
+	// Cost.EvalBytes.
+	eval *comm.EvalLink
 }
 
 func newCommLinks(downSpec, upSpec comm.Spec) (*commLinks, error) {
@@ -21,7 +27,21 @@ func newCommLinks(downSpec, upSpec comm.Spec) (*commLinks, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &commLinks{state: state}, nil
+	eval, err := comm.NewEvalLink(downSpec)
+	if err != nil {
+		return nil, err
+	}
+	return &commLinks{state: state, eval: eval}, nil
+}
+
+// evalBroadcast encodes wt on the shared eval link and returns the view
+// the network evaluates at plus the encoded broadcast size.
+func (l *commLinks) evalBroadcast(wt []float64) ([]float64, int64, error) {
+	u, view, err := l.eval.Broadcast(wt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: eval broadcast: %w", err)
+	}
+	return view, u.WireBytes(), nil
 }
 
 // broadcast encodes wt for device k's downlink, decodes it as the device

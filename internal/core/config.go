@@ -171,6 +171,15 @@ type Config struct {
 	// its budget falls short of LocalEpochs. StragglerFraction is ignored
 	// when set.
 	Capability CapabilityModel
+	// Async selects the coordinator's aggregation discipline. The zero
+	// value is the paper's synchronous round protocol; AsyncTotal and
+	// Buffered are executed only by the fednet runtime (core.Run rejects
+	// them — simulated time has no stragglers to hide). In the async
+	// modes Rounds counts model-version milestones (ClientsPerRound
+	// folds each for AsyncTotal, one BufferK-reply flush each for
+	// Buffered), so the total device work matches a sync run of the same
+	// Rounds.
+	Async AsyncConfig
 }
 
 // Checkpointer persists and restores a run's resumable state. Load
@@ -212,6 +221,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Mu must be non-negative, got %g", c.Mu)
 	case c.StragglerFraction < 0 || c.StragglerFraction > 1:
 		return fmt.Errorf("core: StragglerFraction must be in [0,1], got %g", c.StragglerFraction)
+	}
+	if err := c.Async.Validate(); err != nil {
+		return err
 	}
 	if c.Privacy != nil {
 		if err := c.Privacy.Validate(); err != nil {

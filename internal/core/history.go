@@ -25,6 +25,13 @@ type Point struct {
 	MeanGamma float64
 	// Participants is the number of device updates aggregated this round.
 	Participants int
+	// MeanStaleness and MaxStaleness describe the model-version staleness
+	// of the updates folded since the previous evaluated point: a reply
+	// computed from model version v and folded at version V has staleness
+	// V − v. Synchronous runs have no staleness; both fields are NaN
+	// there (and in every pre-async history).
+	MeanStaleness float64
+	MaxStaleness  float64
 	// Cost is the cumulative resource accounting up to this round.
 	Cost Cost
 }
@@ -44,6 +51,12 @@ type Cost struct {
 	// evaluation traffic. Only the fednet runtime fills these; the
 	// simulator's analytic accounting lives in Uplink/DownlinkBytes.
 	WireUplinkBytes, WireDownlinkBytes int64
+	// EvalBytes is the analytic size of the evaluation broadcasts:
+	// the encoded global model, charged once per evaluation (broadcast
+	// semantics — the eval link is shared, not per-device). Filled only
+	// when a codec is configured; the legacy (no-codec) accounting
+	// predates eval encoding and keeps it at zero.
+	EvalBytes int64
 	// DeviceEpochs is the total local epochs executed across all devices,
 	// including work the server later discarded.
 	DeviceEpochs int
@@ -58,6 +71,7 @@ func (c *Cost) Add(o Cost) {
 	c.DownlinkBytes += o.DownlinkBytes
 	c.WireUplinkBytes += o.WireUplinkBytes
 	c.WireDownlinkBytes += o.WireDownlinkBytes
+	c.EvalBytes += o.EvalBytes
 	c.DeviceEpochs += o.DeviceEpochs
 	c.WastedEpochs += o.WastedEpochs
 }
@@ -148,17 +162,45 @@ func (h *History) SettledAccuracy(tol, rise float64, win int) float64 {
 	return h.Final().TestAcc
 }
 
+// TracksStaleness reports whether any evaluated point carries update
+// staleness — true only for histories produced by an asynchronous
+// aggregation run.
+func (h *History) TracksStaleness() bool {
+	for _, p := range h.Points {
+		if !math.IsNaN(p.MeanStaleness) {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders the history as an aligned table of evaluated rounds.
+// Asynchronous histories gain staleness columns; synchronous ones keep
+// the historical format.
 func (h *History) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", h.Label)
-	fmt.Fprintf(&b, "%6s %12s %9s %12s %8s\n", "round", "train-loss", "test-acc", "grad-var", "mu")
+	stale := h.TracksStaleness()
+	fmt.Fprintf(&b, "%6s %12s %9s %12s %8s", "round", "train-loss", "test-acc", "grad-var", "mu")
+	if stale {
+		fmt.Fprintf(&b, " %10s %9s", "mean-stale", "max-stale")
+	}
+	b.WriteByte('\n')
 	for _, p := range h.Points {
 		gv := "-"
 		if !math.IsNaN(p.GradVar) {
 			gv = fmt.Sprintf("%.4g", p.GradVar)
 		}
-		fmt.Fprintf(&b, "%6d %12.4f %9.4f %12s %8.3g\n", p.Round, p.TrainLoss, p.TestAcc, gv, p.Mu)
+		fmt.Fprintf(&b, "%6d %12.4f %9.4f %12s %8.3g", p.Round, p.TrainLoss, p.TestAcc, gv, p.Mu)
+		if stale {
+			ms, xs := "-", "-"
+			if !math.IsNaN(p.MeanStaleness) {
+				ms = fmt.Sprintf("%.2f", p.MeanStaleness)
+				xs = fmt.Sprintf("%.0f", p.MaxStaleness)
+			}
+			fmt.Fprintf(&b, " %10s %9s", ms, xs)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

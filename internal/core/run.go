@@ -19,6 +19,9 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Async.Enabled() {
+		return nil, fmt.Errorf("core: %s aggregation is executed by the fednet runtime, not the simulator", cfg.Async.Mode)
+	}
 	cfg = cfg.withDefaults()
 	env := NewEnv(fed, cfg)
 	w := m.InitParams(env.InitRNG())
@@ -38,22 +41,38 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 
 	hist := &History{Label: Label(cfg)}
 	var cost Cost
-	record := func(round int, mu, gamma float64, participants int) {
+	record := func(round int, mu, gamma float64, participants int) error {
+		// With a codec the network evaluates at the decoded eval
+		// broadcast — the view the distributed workers hold — and the
+		// broadcast's encoded size is charged once (the eval link is
+		// shared, not per-device).
+		weval := w
+		if links != nil {
+			view, nbytes, err := links.evalBroadcast(w)
+			if err != nil {
+				return err
+			}
+			weval = view
+			cost.EvalBytes += nbytes
+		}
 		p := Point{
-			Round:        round,
-			TrainLoss:    metrics.GlobalLoss(m, fed, w),
-			TestAcc:      metrics.TestAccuracy(m, fed, w),
-			GradVar:      math.NaN(),
-			B:            math.NaN(),
-			Mu:           mu,
-			MeanGamma:    gamma,
-			Participants: participants,
-			Cost:         cost,
+			Round:         round,
+			TrainLoss:     metrics.GlobalLoss(m, fed, weval),
+			TestAcc:       metrics.TestAccuracy(m, fed, weval),
+			GradVar:       math.NaN(),
+			B:             math.NaN(),
+			Mu:            mu,
+			MeanGamma:     gamma,
+			Participants:  participants,
+			MeanStaleness: math.NaN(),
+			MaxStaleness:  math.NaN(),
+			Cost:          cost,
 		}
 		if cfg.TrackDissimilarity {
-			p.GradVar, p.B = metrics.Dissimilarity(m, fed, w)
+			p.GradVar, p.B = metrics.Dissimilarity(m, fed, weval)
 		}
 		hist.Points = append(hist.Points, p)
+		return nil
 	}
 
 	startRound := 0
@@ -70,6 +89,13 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 			startRound = next
 			if savedHist != nil {
 				hist.Points = append(hist.Points, savedHist.Points...)
+				// Simulator histories are always synchronous; checkpoints
+				// written before the staleness columns existed decode
+				// them as 0, which would masquerade as tracked staleness.
+				for i := range hist.Points {
+					hist.Points[i].MeanStaleness = math.NaN()
+					hist.Points[i].MaxStaleness = math.NaN()
+				}
 			}
 		}
 	}
@@ -80,7 +106,9 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 
 	mu0 := cfg.Mu
 	if startRound == 0 {
-		record(0, mu0, math.NaN(), 0)
+		if err := record(0, mu0, math.NaN(), 0); err != nil {
+			return nil, err
+		}
 	}
 
 	for t := startRound; t < cfg.Rounds; t++ {
@@ -105,7 +133,9 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 			muc.Observe(metrics.GlobalLoss(m, fed, w))
 		}
 		if needEval {
-			record(t+1, mu, gammaMean, len(updates.params))
+			if err := record(t+1, mu, gammaMean, len(updates.params)); err != nil {
+				return nil, err
+			}
 		}
 		if cfg.Checkpointer != nil && ((t+1)%ckptEvery == 0 || t == cfg.Rounds-1) {
 			if err := cfg.Checkpointer.Save(t+1, w, hist); err != nil {
@@ -324,6 +354,14 @@ func Label(cfg Config) string {
 		if cfg.DownlinkCodec.Enabled() && cfg.DownlinkCodec != cfg.Codec {
 			base += "/down:" + cfg.DownlinkCodec.String()
 		}
+	}
+	if cfg.Async.Enabled() {
+		a := cfg.Async.WithDefaults(cfg.ClientsPerRound)
+		base += fmt.Sprintf(" [%s a=%g p=%g", a.Mode, a.Alpha, a.StalenessExponent)
+		if a.Mode == Buffered {
+			base += fmt.Sprintf(" K=%d", a.BufferK)
+		}
+		base += "]"
 	}
 	return base
 }

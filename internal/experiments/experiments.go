@@ -29,6 +29,10 @@ type Section struct {
 	Name string
 	// Runs are the compared trajectories, in the paper's legend order.
 	Runs []*core.History
+	// Seconds, when non-nil, is the measured wall-clock of each run,
+	// parallel to Runs (filled by the wall-clock experiments, e.g.
+	// ext-async).
+	Seconds []float64
 	// Notes carries derived scalars (e.g. the Figure 7 improvement
 	// accounting) rendered after the table.
 	Notes []string

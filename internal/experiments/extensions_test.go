@@ -163,3 +163,37 @@ func TestExtGammaMonotone(t *testing.T) {
 		t.Fatalf("gamma not decreasing in work: E=1 %g, E=20 %g", g1, g20)
 	}
 }
+
+func TestExtAsyncComparesDisciplines(t *testing.T) {
+	o := micro()
+	o.Rounds = 4
+	res, err := Run("ext-async", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := res.Sections[0]
+	if len(sec.Runs) != 4 {
+		t.Fatalf("runs = %d, want sync-drop/sync-partial/async/buffered", len(sec.Runs))
+	}
+	if len(sec.Seconds) != 4 {
+		t.Fatalf("wall-clock missing: %v", sec.Seconds)
+	}
+	sawStale := false
+	for _, h := range sec.Runs {
+		if h.TracksStaleness() {
+			sawStale = true
+		}
+	}
+	if !sawStale {
+		t.Fatal("no run recorded staleness")
+	}
+	entries := res.BenchEntries()
+	if len(entries) != 4 {
+		t.Fatalf("bench entries = %d, want 4", len(entries))
+	}
+	for _, e := range entries {
+		if e.Seconds <= 0 {
+			t.Fatalf("entry %s missing wall-clock: %+v", e.Method, e)
+		}
+	}
+}

@@ -42,6 +42,12 @@ type Options struct {
 	// DownlinkCodec optionally overrides Codec on the broadcast
 	// direction (e.g. "raw" to sparsify only the uplink).
 	DownlinkCodec string
+	// AsyncAlpha, AsyncStalenessExp, and AsyncBufferK parameterize the
+	// asynchronous aggregation runs of ext-async (zero selects the
+	// core.AsyncConfig defaults).
+	AsyncAlpha        float64
+	AsyncStalenessExp float64
+	AsyncBufferK      int
 }
 
 // Fast returns miniature settings for benchmarks and CI: every experiment

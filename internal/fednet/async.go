@@ -1,0 +1,526 @@
+package fednet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/core"
+	"fedprox/internal/frand"
+)
+
+// This file implements the coordinator's asynchronous aggregation modes
+// (core.AsyncTotal, core.Buffered). Where the synchronous protocol runs
+// lock-step rounds — every round as slow as its slowest contacted worker,
+// the exact failure mode FedProx targets — the asynchronous coordinator
+// keeps MaxInFlight devices training at all times and folds replies into
+// a version-stamped global model as they arrive, damping each
+// contribution by its staleness:
+//
+//	alpha_k = Alpha / (1 + s)^p,   s = versions elapsed since the
+//	                               worker's broadcast snapshot
+//
+// AsyncTotal advances one model version per reply; Buffered accumulates
+// BufferK replies and advances one version per flush (FedBuff-style).
+// Replies keep flowing while older ones fold, so per-device codec link
+// state must be version-aware: every in-flight request records the
+// broadcast view and model version it was encoded at, and uplink replies
+// decode against exactly that view. The coordinator guarantees at most
+// one outstanding request per device, which keeps each device's chained
+// downlink state and stateful uplink codec single-owner even though many
+// devices interleave on one connection.
+//
+// The asynchronous modes trade the sync path's bit-reproducibility for
+// liveness: arrival order is real-time nondeterminism. They are also
+// straggler-resilient in failure, not just latency — a worker that times
+// out (ServerConfig.RequestTimeout) or disconnects is evicted and its
+// in-flight work is charged as waste, while aggregation continues on the
+// surviving devices.
+
+// inflight records one outstanding TrainRequest: the model version and
+// decoded broadcast view the request was encoded against (the uplink
+// decode base), plus bookkeeping for timeout eviction and waste
+// accounting.
+type inflight struct {
+	device  int
+	version int
+	view    []float64
+	dec     comm.Codec
+	epochs  int
+	sentAt  time.Time
+}
+
+// bufEntry is one decoded reply waiting in the aggregation buffer: the
+// device's model delta relative to the broadcast view it trained from,
+// not its absolute solution — folding deltas means a stale reply
+// contributes its local progress without dragging the global model back
+// toward the older point it started at.
+type bufEntry struct {
+	delta []float64 // wk − view (the device's local progress)
+	nk    float64
+	snap  int // model version the reply trained from
+}
+
+// asyncMsg is what a per-conn reader delivers to the aggregator: one
+// received envelope, or the receive error that ended the reader.
+type asyncMsg struct {
+	c   *conn
+	env Envelope
+	err error
+}
+
+// connState is the aggregator's bookkeeping for one worker connection.
+type connState struct {
+	c       *conn
+	devices []int
+	dead    bool
+}
+
+// trainAsync runs the asynchronous aggregation schedule. cfg.Rounds
+// counts model milestones of roundSize replies each (ClientsPerRound for
+// AsyncTotal, BufferK for Buffered), so total device work matches a sync
+// run of the same Rounds, and evaluation cadence (round 0, every
+// EvalEvery milestones, the final milestone) lines up point for point
+// with the synchronous history.
+func (s *Server) trainAsync() (*core.History, error) {
+	cfg := s.cfg.Training
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	async := cfg.Async.WithDefaults(cfg.ClientsPerRound)
+	flushSize := 1
+	roundSize := cfg.ClientsPerRound
+	if async.Mode == core.Buffered {
+		flushSize = async.BufferK
+		roundSize = async.BufferK
+	}
+	target := cfg.Rounds * roundSize
+
+	n := s.cfg.ExpectDevices
+	root := frand.New(cfg.Seed)
+	selRoot := root.Split("selection")
+	stragRoot := root.Split("stragglers")
+	batchRoot := root.Split("batches")
+	initRng := root.Split("init").Split("params")
+
+	weights := make([]float64, n)
+	total := 0
+	for id, d := range s.devices {
+		weights[id] = float64(d.trainSize)
+		total += d.trainSize
+	}
+	for i := range weights {
+		weights[i] /= float64(total)
+	}
+
+	w := s.mdl.InitParams(initRng)
+
+	links, err := comm.NewLinkState(s.downSpec, s.upSpec)
+	if err != nil {
+		return nil, err
+	}
+	legacyAccounting := !cfg.Codec.Enabled()
+	var acc core.Cost
+
+	// Per-conn readers: the strict request/response discipline of the
+	// sync path does not survive pipelining, so each connection gets a
+	// reader goroutine that routes every inbound envelope (train and
+	// eval replies interleaved) to the aggregator. done unblocks readers
+	// once the aggregator returns; the deferred shutdown in
+	// RunWithListener closes the conns, which unblocks any reader still
+	// parked in recv.
+	conns := make(map[*conn]*connState, len(s.conns))
+	for _, c := range s.conns {
+		conns[c] = &connState{c: c}
+	}
+	for id, d := range s.devices {
+		conns[d.conn].devices = append(conns[d.conn].devices, id)
+	}
+	replyCh := make(chan asyncMsg, len(s.conns)+async.MaxInFlight+8)
+	done := make(chan struct{})
+	defer close(done)
+	for _, c := range s.conns {
+		go func(c *conn) {
+			for {
+				env, err := c.recv()
+				select {
+				case replyCh <- asyncMsg{c: c, env: env, err: err}:
+				case <-done:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Aggregator state. All of it is owned by this goroutine; the only
+	// concurrency is the readers feeding replyCh and the workers' own
+	// solves.
+	var (
+		version     int // global model version
+		folded      int // replies folded (or discarded in drain)
+		dispatchSeq int // total dispatches, names the env streams
+		pending     = make(map[int]*inflight)
+		buffer      []bufEntry
+		idle        = make(map[int]bool, n)
+		liveDevices = n
+		// staleness and participation stats since the last recorded point
+		staleSum   float64
+		staleMax   float64
+		staleN     int
+		evalFailed error
+	)
+	for id := range s.devices {
+		idle[id] = true
+	}
+
+	failConn := func(cs *connState) {
+		if cs.dead {
+			return
+		}
+		cs.dead = true
+		_ = cs.c.close()
+		for _, id := range cs.devices {
+			delete(idle, id)
+			if in, ok := pending[id]; ok {
+				// The dispatched epochs stay charged; whatever the dead
+				// worker computed is lost — waste.
+				acc.WastedEpochs += in.epochs
+				delete(pending, id)
+			}
+			liveDevices--
+		}
+	}
+
+	hist := &core.History{Label: core.Label(cfg) + " [fednet]"}
+
+	// collectEvals runs one evaluation broadcast over the live conns,
+	// stashing any train replies that arrive meanwhile for the caller to
+	// process afterwards.
+	var stash []asyncMsg
+	record := func(milestone, participants int) error {
+		s.evalSeq++
+		seq := s.evalSeq
+		u, _, err := s.evalLink.Broadcast(w)
+		if err != nil {
+			return err
+		}
+		waiting := make(map[*conn]bool)
+		for _, cs := range conns {
+			if cs.dead {
+				continue
+			}
+			if err := cs.c.send(Envelope{EvalRequest: &EvalRequest{Seq: seq, Update: *u}}); err != nil {
+				failConn(cs)
+				continue
+			}
+			waiting[cs.c] = true
+		}
+		if len(waiting) == 0 {
+			return errors.New("fednet: no live workers to evaluate on")
+		}
+		if !legacyAccounting {
+			acc.EvalBytes += u.WireBytes()
+		}
+		var all []DeviceEval
+		deadline := time.Now().Add(s.cfg.RequestTimeout)
+		for len(waiting) > 0 {
+			var timeout <-chan time.Time
+			if s.cfg.RequestTimeout > 0 {
+				timeout = time.After(time.Until(deadline))
+			}
+			select {
+			case m := <-replyCh:
+				cs := conns[m.c]
+				switch {
+				case m.err != nil:
+					delete(waiting, m.c)
+					failConn(cs)
+				case m.env.EvalReply != nil:
+					delete(waiting, m.c)
+					if m.env.EvalReply.Err != "" {
+						return errors.New(m.env.EvalReply.Err)
+					}
+					if !cs.dead {
+						all = append(all, m.env.EvalReply.Devices...)
+					}
+				default:
+					stash = append(stash, m)
+				}
+			case <-timeout:
+				for c := range waiting {
+					failConn(conns[c])
+					delete(waiting, c)
+				}
+			}
+		}
+		if len(all) == 0 {
+			return errors.New("fednet: evaluation returned no device metrics")
+		}
+		loss, tacc := combineEvals(all, weights, true)
+		cost := acc
+		cost.WireUplinkBytes, cost.WireDownlinkBytes = s.BytesOnWire()
+		p := core.Point{
+			Round:         milestone,
+			TrainLoss:     loss,
+			TestAcc:       tacc,
+			GradVar:       math.NaN(),
+			B:             math.NaN(),
+			Mu:            cfg.Mu,
+			MeanGamma:     math.NaN(),
+			Participants:  participants,
+			MeanStaleness: math.NaN(),
+			MaxStaleness:  math.NaN(),
+			Cost:          cost,
+		}
+		if staleN > 0 {
+			p.MeanStaleness = staleSum / float64(staleN)
+			p.MaxStaleness = staleMax
+		}
+		hist.Points = append(hist.Points, p)
+		staleSum, staleMax, staleN = 0, 0, 0
+		return nil
+	}
+
+	// dispatch ships one TrainRequest to an idle device chosen by the
+	// environment streams (uniform or size-weighted, mirroring the sync
+	// sampling schemes over the currently idle set). The straggler stream
+	// draws partial epoch budgets — under asynchronous aggregation
+	// partial work is always folded, the paper's FedProx policy; there is
+	// no deadline to drop anyone at.
+	dispatch := func() error {
+		ids := make([]int, 0, len(idle))
+		for id := range idle {
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			return nil
+		}
+		sort.Ints(ids)
+		rng := selRoot.SplitIndex(dispatchSeq)
+		var id int
+		if cfg.Sampling == core.WeightedSimpleAvg {
+			ws := make([]float64, len(ids))
+			for i, d := range ids {
+				ws[i] = weights[d]
+			}
+			id = ids[rng.WeightedChoice(ws, 1)[0]]
+		} else {
+			id = ids[rng.Intn(len(ids))]
+		}
+		epochs := cfg.LocalEpochs
+		if cfg.StragglerFraction > 0 {
+			srng := stragRoot.SplitIndex(dispatchSeq)
+			if srng.Bernoulli(cfg.StragglerFraction) {
+				epochs = srng.IntRange(1, cfg.LocalEpochs)
+			}
+		}
+		batchSeed := batchRoot.SplitIndex(dispatchSeq).SplitIndex(id).State()
+		dispatchSeq++
+
+		enc, dec, err := links.Link(id)
+		if err != nil {
+			return err
+		}
+		prev := links.Prev(id)
+		u := enc.Encode(w, prev)
+		view, err := enc.Decode(u, prev)
+		if err != nil {
+			return fmt.Errorf("fednet: async downlink device %d: %w", id, err)
+		}
+		links.SetPrev(id, view)
+
+		cs := conns[s.devices[id].conn]
+		req := TrainRequest{
+			Round:        folded / roundSize,
+			Version:      version,
+			Device:       id,
+			Update:       *u,
+			Epochs:       epochs,
+			Mu:           cfg.Mu,
+			LearningRate: cfg.LearningRate,
+			BatchSize:    cfg.BatchSize,
+			BatchSeed:    batchSeed,
+		}
+		if err := cs.c.send(Envelope{TrainRequest: &req}); err != nil {
+			failConn(cs)
+			return nil
+		}
+		acc.DownlinkBytes += u.WireBytes()
+		acc.DeviceEpochs += epochs
+		delete(idle, id)
+		pending[id] = &inflight{
+			device:  id,
+			version: version,
+			view:    view,
+			dec:     dec,
+			epochs:  epochs,
+			sentAt:  time.Now(),
+		}
+		return nil
+	}
+
+	// flush folds the buffered replies into the global model, FedBuff
+	// style: each device's delta is damped by its own staleness at flush
+	// time and the damped deltas are combined under the run's sampling
+	// scheme —
+	//
+	//	w ← w + Σ n_k·alpha_k·Δ_k / Σ n_k   (uniform sampling)
+	//	w ← w + Σ alpha_k·Δ_k / |B|         (weighted sampling)
+	//
+	// With fresh replies (s = 0, Alpha = 1, views = w) this reproduces
+	// the synchronous round update exactly; for flushSize 1 it is the
+	// delta form of the FedAsync fold, w ← w + alpha_k·Δ_k.
+	flush := func() {
+		num := make([]float64, len(w))
+		den := 0.0
+		for _, e := range buffer {
+			s := float64(version - e.snap)
+			a := async.Alpha / math.Pow(1+s, async.StalenessExponent)
+			staleSum += s
+			staleN++
+			if s > staleMax {
+				staleMax = s
+			}
+			cw := 1.0
+			if cfg.Sampling != core.WeightedSimpleAvg {
+				cw = e.nk
+			}
+			den += cw
+			for i, v := range e.delta {
+				num[i] += cw * a * v
+			}
+		}
+		if den > 0 {
+			for i := range w {
+				w[i] += num[i] / den
+			}
+			version++
+		}
+		buffer = buffer[:0]
+	}
+
+	handleTrainReply := func(m asyncMsg, reply *TrainReply) error {
+		in, ok := pending[reply.Device]
+		if !ok {
+			return nil // evicted conn's late reply routed elsewhere: drop
+		}
+		delete(pending, reply.Device)
+		if cs := conns[m.c]; !cs.dead {
+			idle[reply.Device] = true
+		}
+		if reply.Err != "" {
+			return errors.New(reply.Err)
+		}
+		wk, err := in.dec.Decode(&reply.Update, in.view)
+		if err != nil {
+			return fmt.Errorf("fednet: async uplink device %d: %w", reply.Device, err)
+		}
+		acc.UplinkBytes += reply.Update.WireBytes()
+		if folded >= target {
+			// Drain phase: the schedule is complete; late work is waste.
+			acc.WastedEpochs += in.epochs
+			return nil
+		}
+		delta := make([]float64, len(wk))
+		for i := range wk {
+			delta[i] = wk[i] - in.view[i]
+		}
+		buffer = append(buffer, bufEntry{delta: delta, nk: float64(s.devices[reply.Device].trainSize), snap: in.version})
+		folded++
+		if len(buffer) >= flushSize {
+			flush()
+		}
+		if folded%roundSize == 0 {
+			milestone := folded / roundSize
+			if milestone%cfg.EvalEvery == 0 || milestone == cfg.Rounds {
+				// A milestone always folds exactly roundSize replies —
+				// the async analogue of the sync per-round participant
+				// count.
+				if err := record(milestone, roundSize); err != nil {
+					evalFailed = err
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := record(0, 0); err != nil {
+		return nil, err
+	}
+
+	for folded < target || len(pending) > 0 {
+		if evalFailed != nil {
+			return nil, evalFailed
+		}
+		if liveDevices == 0 {
+			return nil, errors.New("fednet: async aggregation lost every worker")
+		}
+		// Keep MaxInFlight devices busy while the schedule has work left.
+		for folded+len(pending) < target && len(pending) < async.MaxInFlight && len(idle) > 0 {
+			if err := dispatch(); err != nil {
+				return nil, err
+			}
+		}
+		if len(pending) == 0 {
+			if folded >= target {
+				break
+			}
+			continue // a conn just died; re-check liveness and re-dispatch
+		}
+
+		// Process any replies stashed during an evaluation wait first.
+		var m asyncMsg
+		if len(stash) > 0 {
+			m, stash = stash[0], stash[1:]
+		} else {
+			var timeout <-chan time.Time
+			if s.cfg.RequestTimeout > 0 {
+				earliest := time.Time{}
+				for _, in := range pending {
+					d := in.sentAt.Add(s.cfg.RequestTimeout)
+					if earliest.IsZero() || d.Before(earliest) {
+						earliest = d
+					}
+				}
+				timeout = time.After(time.Until(earliest))
+			}
+			select {
+			case m = <-replyCh:
+			case <-timeout:
+				now := time.Now()
+				for _, in := range pending {
+					if now.Sub(in.sentAt) >= s.cfg.RequestTimeout {
+						cs := conns[s.devices[in.device].conn]
+						failConn(cs)
+					}
+				}
+				continue
+			}
+		}
+
+		cs := conns[m.c]
+		switch {
+		case m.err != nil:
+			failConn(cs)
+		case m.env.TrainReply != nil:
+			if err := handleTrainReply(m, m.env.TrainReply); err != nil {
+				return nil, err
+			}
+		case m.env.EvalReply != nil:
+			// A late eval reply from a conn that timed out during a
+			// previous record call: drop it.
+		default:
+			return nil, fmt.Errorf("fednet: async coordinator received unexpected envelope %+v", m.env)
+		}
+	}
+	if evalFailed != nil {
+		return nil, evalFailed
+	}
+	return hist, nil
+}

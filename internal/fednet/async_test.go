@@ -1,0 +1,190 @@
+package fednet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/core"
+	"fedprox/internal/solver"
+)
+
+func asyncBase(mode core.AggregationMode) core.Config {
+	cfg := core.FedProx(8, 5, 3, 0.01, 1)
+	cfg.StragglerFraction = 0.5
+	cfg.EvalEvery = 2
+	cfg.Async = core.AsyncConfig{Mode: mode}
+	return cfg
+}
+
+// TestAsyncConverges: the pure async mode completes its schedule, its
+// history carries staleness columns, its evaluation cadence matches the
+// sync layout, and the model actually improves.
+func TestAsyncConverges(t *testing.T) {
+	fed, mdl := testWorkload()
+	cfg := asyncBase(core.AsyncTotal)
+	hist, err := launch(t, fed, mdl, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := 1 + cfg.Rounds/cfg.EvalEvery // round 0 + every EvalEvery (final coincides)
+	if len(hist.Points) != wantPoints {
+		t.Fatalf("points = %d, want %d", len(hist.Points), wantPoints)
+	}
+	if !hist.TracksStaleness() {
+		t.Fatal("async history has no staleness columns")
+	}
+	first, last := hist.Points[0], hist.Final()
+	if !(last.TrainLoss < first.TrainLoss) {
+		t.Fatalf("async did not improve: loss %g -> %g", first.TrainLoss, last.TrainLoss)
+	}
+	if math.IsNaN(last.MeanStaleness) || last.MaxStaleness < last.MeanStaleness {
+		t.Fatalf("implausible staleness stats: mean %g max %g", last.MeanStaleness, last.MaxStaleness)
+	}
+	// Every milestone folds exactly ClientsPerRound replies — the async
+	// analogue of the sync per-round participant count.
+	for _, p := range hist.Points[1:] {
+		if p.Participants != cfg.ClientsPerRound {
+			t.Fatalf("round %d: participants %d, want %d", p.Round, p.Participants, cfg.ClientsPerRound)
+		}
+	}
+	if first.Participants != 0 {
+		t.Fatalf("round 0 participants %d, want 0", first.Participants)
+	}
+	if !math.IsNaN(first.MeanStaleness) {
+		t.Fatalf("round 0 should not carry staleness, got %g", first.MeanStaleness)
+	}
+}
+
+// TestBufferedConverges: the FedBuff-style middle ground advances one
+// version per BufferK replies and still improves the model.
+func TestBufferedConverges(t *testing.T) {
+	fed, mdl := testWorkload()
+	cfg := asyncBase(core.Buffered)
+	cfg.Async.BufferK = 4
+	hist, err := launch(t, fed, mdl, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := hist.Points[0], hist.Final()
+	if !(last.TrainLoss < first.TrainLoss) {
+		t.Fatalf("buffered did not improve: loss %g -> %g", first.TrainLoss, last.TrainLoss)
+	}
+	for _, p := range hist.Points[1:] {
+		if p.Participants != cfg.Async.BufferK {
+			t.Fatalf("round %d: participants %d, want BufferK %d", p.Round, p.Participants, cfg.Async.BufferK)
+		}
+	}
+	// Buffered staleness is bounded by construction: a reply can be at
+	// most one flush stale per in-flight wave; sanity-check it stays
+	// small on a healthy deployment.
+	for _, p := range hist.Points[1:] {
+		if p.MaxStaleness > float64(cfg.Rounds) {
+			t.Fatalf("staleness %g exceeds version count", p.MaxStaleness)
+		}
+	}
+}
+
+// TestAsyncWithCodec: asynchronous aggregation composes with stateful
+// codecs — chained downlinks, per-device rounding streams, and
+// error-feedback residuals stay consistent even though replies
+// interleave (the link state is version-aware: every uplink decodes
+// against the exact broadcast view it trained from).
+func TestAsyncWithCodec(t *testing.T) {
+	fed, mdl := testWorkload()
+	for _, spec := range []comm.Spec{
+		{Name: "qsgd", Bits: 8},
+		{Name: "topk", TopK: 0.25},
+	} {
+		t.Run(spec.Name, func(t *testing.T) {
+			cfg := asyncBase(core.AsyncTotal)
+			cfg.Codec = spec
+			if spec.Name == "topk" {
+				cfg.DownlinkCodec = comm.Spec{Name: "raw"}
+			}
+			hist, err := launch(t, fed, mdl, cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, last := hist.Points[0], hist.Final()
+			if !(last.TrainLoss < first.TrainLoss) {
+				t.Fatalf("async+%s did not improve: loss %g -> %g", spec.Name, first.TrainLoss, last.TrainLoss)
+			}
+			c := last.Cost
+			if c.UplinkBytes == 0 || c.DownlinkBytes == 0 || c.EvalBytes == 0 {
+				t.Fatalf("missing analytic accounting: %+v", c)
+			}
+		})
+	}
+}
+
+// TestAsyncOutpacesSyncUnderStraggler is the tentpole's acceptance
+// criterion: with one worker delayed 10x, the asynchronous coordinator
+// completes the same total device work at least 2x faster than the
+// synchronous one while landing within 5% of its final loss.
+func TestAsyncOutpacesSyncUnderStraggler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison")
+	}
+	fed, mdl := testWorkload()
+
+	base := core.FedProx(20, 4, 2, 0.01, 1)
+	base.EvalEvery = 10
+	// Worker 0 is 10x slower than the others: its devices hold the
+	// deployment hostage every synchronous round they are selected in.
+	const baseDelay = 3 * time.Millisecond
+	solvers := []solver.LocalSolver{
+		solver.Delayed{Inner: solver.SGDSolver{}, Delay: 10 * baseDelay},
+		solver.Delayed{Inner: solver.SGDSolver{}, Delay: baseDelay},
+		solver.Delayed{Inner: solver.SGDSolver{}, Delay: baseDelay},
+		solver.Delayed{Inner: solver.SGDSolver{}, Delay: baseDelay},
+	}
+	deploy := func(cfg core.Config) (*core.History, time.Duration) {
+		start := time.Now()
+		h, err := RunLoopback(mdl, fed, ServerConfig{Training: cfg, ExpectDevices: fed.NumDevices()}, solvers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, time.Since(start)
+	}
+
+	sync_, syncSecs := deploy(base)
+	acfg := base
+	acfg.Async = core.AsyncConfig{Mode: core.AsyncTotal}
+	async, asyncSecs := deploy(acfg)
+
+	t.Logf("sync %v (loss %.4f) vs async %v (loss %.4f)",
+		syncSecs, sync_.Final().TrainLoss, asyncSecs, async.Final().TrainLoss)
+	// Race instrumentation multiplies the compute share of wall-clock,
+	// shrinking the sleep-dominated gap; only demand the full 2x on
+	// uninstrumented builds.
+	want := 2.0
+	if raceEnabled {
+		want = 1.3
+	}
+	if ratio := float64(syncSecs) / float64(asyncSecs); ratio < want {
+		t.Errorf("async speedup %.2fx < %gx (sync %v, async %v)", ratio, want, syncSecs, asyncSecs)
+	}
+	// Within 5% of sync's final loss: async may not regress the model
+	// quality it buys its speed with (ending below sync is fine — more
+	// sequential folds per unit work often win on this workload).
+	sl, al := sync_.Final().TrainLoss, async.Final().TrainLoss
+	if al > sl*1.05 {
+		t.Errorf("async final loss %.4f is %.1f%% above sync %.4f (budget 5%%)", al, 100*(al-sl)/sl, sl)
+	}
+}
+
+// TestAsyncRejectedBySimulator documents the division of labour: the
+// simulator has no wall clock, so core.Run refuses async configs while
+// fednet accepts them.
+func TestAsyncRejectedBySimulator(t *testing.T) {
+	fed, mdl := testWorkload()
+	cfg := asyncBase(core.AsyncTotal)
+	if _, err := core.Run(mdl, fed, cfg); err == nil {
+		t.Fatal("simulator accepted an async config")
+	}
+	if _, err := NewServer(mdl, ServerConfig{Training: cfg, ExpectDevices: fed.NumDevices()}); err != nil {
+		t.Fatalf("fednet rejected an async config: %v", err)
+	}
+}

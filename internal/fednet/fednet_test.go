@@ -1,9 +1,7 @@
 package fednet
 
 import (
-	"net"
 	"strings"
-	"sync"
 	"testing"
 
 	"fedprox/internal/comm"
@@ -11,6 +9,7 @@ import (
 	"fedprox/internal/data"
 	"fedprox/internal/data/synthetic"
 	"fedprox/internal/model/linear"
+	"fedprox/internal/solver"
 )
 
 func testWorkload() (*data.Federated, *linear.Model) {
@@ -23,38 +22,7 @@ func testWorkload() (*data.Federated, *linear.Model) {
 // trajectory.
 func launch(t *testing.T, fed *data.Federated, mdl *linear.Model, cfg core.Config, workers int) (*core.History, error) {
 	t.Helper()
-	srv, err := NewServer(mdl, ServerConfig{Training: cfg, ExpectDevices: fed.NumDevices()})
-	if err != nil {
-		return nil, err
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for wi := 0; wi < workers; wi++ {
-		var shards []*data.Shard
-		for k := wi; k < fed.NumDevices(); k += workers {
-			shards = append(shards, fed.Shards[k])
-		}
-		w := NewWorker(mdl, shards, nil)
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			errs[wi] = w.Run(addr)
-		}(wi)
-	}
-	hist, runErr := srv.RunWithListener(ln)
-	wg.Wait()
-	for wi, err := range errs {
-		if err != nil {
-			t.Fatalf("worker %d: %v", wi, err)
-		}
-	}
-	return hist, runErr
+	return RunLoopback(mdl, fed, ServerConfig{Training: cfg, ExpectDevices: fed.NumDevices()}, make([]solver.LocalSolver, workers))
 }
 
 // TestDistributedMatchesSimulator is the package's defining guarantee:
@@ -189,7 +157,7 @@ func TestWorkerRejectsBadParamLength(t *testing.T) {
 	if reply.Err == "" {
 		t.Fatal("bad parameter length accepted for train")
 	}
-	ev := w.eval(&EvalRequest{Params: []float64{1}})
+	ev := w.eval(&EvalRequest{Update: rawUpdate(t, []float64{1})})
 	if ev.Err == "" {
 		t.Fatal("bad parameter length accepted for eval")
 	}

@@ -1,0 +1,59 @@
+package fednet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data"
+	"fedprox/internal/model"
+	"fedprox/internal/solver"
+)
+
+// RunLoopback deploys one coordinator and len(solvers) in-process
+// workers over an ephemeral TCP loopback, partitioning fed's shards
+// round-robin (worker i hosts shards i, i+n, i+2n, …) with worker i
+// training on solvers[i] (nil selects mini-batch SGD). It returns the
+// coordinator's trajectory; worker failures are joined into the error.
+//
+// This is the single-machine deployment harness the experiments and
+// tests share — real sockets, real concurrency, no processes to manage.
+func RunLoopback(mdl model.Model, fed *data.Federated, cfg ServerConfig, solvers []solver.LocalSolver) (*core.History, error) {
+	srv, err := NewServer(mdl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+
+	workers := len(solvers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wi := 0; wi < workers; wi++ {
+		var shards []*data.Shard
+		for k := wi; k < fed.NumDevices(); k += workers {
+			shards = append(shards, fed.Shards[k])
+		}
+		w := NewWorker(mdl, shards, solvers[wi])
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			errs[wi] = w.Run(addr)
+		}(wi)
+	}
+	hist, runErr := srv.RunWithListener(ln)
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	for wi, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fednet: worker %d: %w", wi, err)
+		}
+	}
+	return hist, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fednet
+
+const raceEnabled = false

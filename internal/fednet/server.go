@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fedprox/internal/comm"
 	"fedprox/internal/core"
@@ -20,14 +21,24 @@ import (
 // ServerConfig parameterizes a coordinator.
 type ServerConfig struct {
 	// Training carries the federated hyperparameters. TrackDissimilarity,
-	// TrackGamma, Capability, and Solver are simulator-only features and
-	// must be unset (workers choose their own local solver).
+	// TrackGamma, Capability, AdaptiveMu, and Solver are simulator-only
+	// features and must be unset (workers choose their own local solver).
+	// Training.Async selects the aggregation discipline: the default
+	// synchronous rounds reproduce the simulator bit for bit; AsyncTotal
+	// and Buffered trade that determinism for straggler tolerance.
 	Training core.Config
 	// ExpectDevices is the total number of devices that must register
 	// (across all workers) before training starts. Device IDs must cover
 	// exactly 0..ExpectDevices-1 so the environment streams line up with
 	// the simulator's.
 	ExpectDevices int
+	// RequestTimeout bounds how long the coordinator waits for any reply
+	// on a connection — and how long any single send may block, so a
+	// worker that stops reading is also caught — before declaring the
+	// worker dead (zero waits forever). The synchronous protocol fails
+	// the run on a timed-out worker; the asynchronous modes evict the
+	// worker's devices and keep aggregating from the rest.
+	RequestTimeout time.Duration
 }
 
 // Server is the federated coordinator: it owns the global model
@@ -45,6 +56,10 @@ type Server struct {
 	// bytesIn/bytesOut meter actual serialized traffic across all worker
 	// connections.
 	bytesIn, bytesOut atomic.Int64
+
+	// evalLink is the coordinator's end of the shared evaluation
+	// broadcast: one chained codec stream every worker decodes.
+	evalLink *comm.EvalLink
 
 	mu      sync.Mutex
 	conns   []*conn
@@ -64,6 +79,9 @@ func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Training.TrackDissimilarity || cfg.Training.TrackGamma {
 		return nil, errors.New("fednet: dissimilarity/gamma tracking is simulator-only")
+	}
+	if cfg.Training.AdaptiveMu {
+		return nil, errors.New("fednet: adaptive mu is simulator-only")
 	}
 	if cfg.Training.Capability != nil {
 		return nil, errors.New("fednet: capability models are simulator-only")
@@ -85,11 +103,16 @@ func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
 		raw := core.Config{Codec: comm.Spec{Name: "raw"}, Seed: cfg.Training.Seed}
 		down, up = raw.CommSpecs()
 	}
+	evalLink, err := comm.NewEvalLink(down)
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		mdl:      mdl,
 		cfg:      cfg,
 		downSpec: down,
 		upSpec:   up,
+		evalLink: evalLink,
 		devices:  make(map[int]*device),
 	}, nil
 }
@@ -123,6 +146,9 @@ func (s *Server) RunWithListener(ln net.Listener) (*core.History, error) {
 	if err := s.acceptAll(ln); err != nil {
 		return nil, err
 	}
+	if s.cfg.Training.Async.Enabled() {
+		return s.trainAsync()
+	}
 	return s.train()
 }
 
@@ -136,6 +162,10 @@ func (s *Server) acceptAll(ln net.Listener) error {
 			return fmt.Errorf("fednet: accept: %w", err)
 		}
 		c := newConn(meteredConn{Conn: raw, read: &s.bytesIn, written: &s.bytesOut})
+		// RequestTimeout bounds sends as well as reply waits: a worker
+		// that stops reading must surface as a send error, not block the
+		// coordinator in gob Encode with its TCP buffers full.
+		c.sendTimeout = s.cfg.RequestTimeout
 		env, err := c.recv()
 		if err != nil {
 			return err
@@ -227,22 +257,30 @@ func (s *Server) train() (*core.History, error) {
 
 	hist := &core.History{Label: core.Label(cfg) + " [fednet]"}
 	record := func(round int, mu float64, participants int) error {
-		loss, tacc, err := s.evaluate(w, weights)
+		loss, tacc, evalBytes, err := s.evaluate(w, weights, false)
 		if err != nil {
 			return err
+		}
+		// Analytic eval accounting exists only under the explicit codec
+		// link model, mirroring the simulator (legacy accounting predates
+		// eval encoding).
+		if !legacyAccounting {
+			acc.EvalBytes += evalBytes
 		}
 		cost := acc
 		cost.WireUplinkBytes, cost.WireDownlinkBytes = s.BytesOnWire()
 		hist.Points = append(hist.Points, core.Point{
-			Round:        round,
-			TrainLoss:    loss,
-			TestAcc:      tacc,
-			GradVar:      math.NaN(),
-			B:            math.NaN(),
-			Mu:           mu,
-			MeanGamma:    math.NaN(),
-			Participants: participants,
-			Cost:         cost,
+			Round:         round,
+			TrainLoss:     loss,
+			TestAcc:       tacc,
+			GradVar:       math.NaN(),
+			B:             math.NaN(),
+			Mu:            mu,
+			MeanGamma:     math.NaN(),
+			Participants:  participants,
+			MeanStaleness: math.NaN(),
+			MaxStaleness:  math.NaN(),
+			Cost:          cost,
 		})
 		return nil
 	}
@@ -331,6 +369,7 @@ func (s *Server) train() (*core.History, error) {
 				d := s.devices[id]
 				req := TrainRequest{
 					Round:        t,
+					Version:      t, // sync: one model version per round
 					Device:       id,
 					Update:       *updates[i],
 					Epochs:       ep,
@@ -399,21 +438,39 @@ func (s *Server) train() (*core.History, error) {
 // The connection's send lock plus the strict request/response protocol
 // per device make concurrent exchanges from different devices on the same
 // worker safe only if serialized — the per-conn reply lock does that.
+// With a RequestTimeout configured the reply wait is bounded: a worker
+// that never answers surfaces as an i/o timeout instead of hanging the
+// deployment.
 func (s *Server) roundTrip(c *conn, e Envelope) (Envelope, error) {
 	c.rtMu.Lock()
 	defer c.rtMu.Unlock()
 	if err := c.send(e); err != nil {
 		return Envelope{}, err
 	}
+	if s.cfg.RequestTimeout > 0 {
+		c.armRecvDeadline(s.cfg.RequestTimeout)
+		defer c.armRecvDeadline(0)
+	}
 	return c.recv()
 }
 
 // evaluate gathers distributed metrics and combines them exactly as
 // internal/metrics does (ascending-device weighted sum), so losses match
-// the simulator bit for bit.
-func (s *Server) evaluate(w []float64, weights []float64) (loss, acc float64, err error) {
+// the simulator bit for bit. The global model travels encoded on the
+// shared eval link; evalBytes is the encoded broadcast size (charged
+// once — broadcast semantics). With renormalize set, the per-device
+// weights are rescaled by the reporting mass, which keeps the metrics
+// meaningful when the asynchronous modes lose workers mid-run; the
+// synchronous path never renormalizes (all devices report or the run
+// fails, and dividing by the full weight sum would perturb the
+// bit-reproducible trajectory).
+func (s *Server) evaluate(w []float64, weights []float64, renormalize bool) (loss, acc float64, evalBytes int64, err error) {
 	s.evalSeq++
 	seq := s.evalSeq
+	u, _, err := s.evalLink.Broadcast(w)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	type shardEval struct {
 		evals []DeviceEval
 		err   error
@@ -424,7 +481,7 @@ func (s *Server) evaluate(w []float64, weights []float64) (loss, acc float64, er
 		wg.Add(1)
 		go func(i int, c *conn) {
 			defer wg.Done()
-			env, err := s.roundTrip(c, Envelope{EvalRequest: &EvalRequest{Seq: seq, Params: w}})
+			env, err := s.roundTrip(c, Envelope{EvalRequest: &EvalRequest{Seq: seq, Update: *u}})
 			if err != nil {
 				out[i] = shardEval{err: err}
 				return
@@ -445,19 +502,32 @@ func (s *Server) evaluate(w []float64, weights []float64) (loss, acc float64, er
 	var all []DeviceEval
 	for _, o := range out {
 		if o.err != nil {
-			return 0, 0, o.err
+			return 0, 0, 0, o.err
 		}
 		all = append(all, o.evals...)
 	}
+	loss, acc = combineEvals(all, weights, renormalize)
+	return loss, acc, u.WireBytes(), nil
+}
+
+// combineEvals folds per-device metric contributions into the global
+// training loss and test accuracy, in ascending device order so the
+// float summation matches internal/metrics exactly.
+func combineEvals(all []DeviceEval, weights []float64, renormalize bool) (loss, acc float64) {
 	sort.Slice(all, func(i, j int) bool { return all[i].Device < all[j].Device })
 	correct, testN := 0, 0
+	wsum := 0.0
 	for _, ev := range all {
 		loss += weights[ev.Device] * ev.TrainLoss
+		wsum += weights[ev.Device]
 		correct += ev.Correct
 		testN += ev.TestN
+	}
+	if renormalize && wsum > 0 {
+		loss /= wsum
 	}
 	if testN > 0 {
 		acc = float64(correct) / float64(testN)
 	}
-	return loss, acc, nil
+	return loss, acc
 }

@@ -17,6 +17,16 @@
 // mirror internal/core exactly, so a fednet run with the same seed and
 // configuration reproduces the simulator's trajectory bit for bit — the
 // equivalence test in server_test.go asserts this.
+//
+// Aggregation disciplines: under the default synchronous protocol the
+// coordinator keeps at most one exchange outstanding per connection
+// (strict request/response). Under core.AsyncTotal / core.Buffered it
+// pipelines TrainRequests — several may be outstanding on one
+// connection, though never more than one per device — and a per-conn
+// reader routes the interleaved replies. Workers therefore serve every
+// TrainRequest in its own goroutine; replies carry the model-version
+// stamp of the broadcast they trained from so the coordinator can damp
+// stale contributions.
 package fednet
 
 import (
@@ -25,6 +35,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fedprox/internal/comm"
 )
@@ -61,8 +72,16 @@ type Welcome struct {
 
 // TrainRequest asks a worker to run one local solve.
 type TrainRequest struct {
-	// Round is the communication round index.
+	// Round is the communication round index. Under asynchronous
+	// aggregation it is the model-version milestone in effect at
+	// dispatch (versions elapsed / versions-per-round).
 	Round int
+	// Version stamps the global model version the broadcast was encoded
+	// at. The asynchronous coordinator computes each reply's staleness as
+	// the difference between its current version and this stamp; the
+	// synchronous coordinator stamps the round index (one version per
+	// round).
+	Version int
 	// Device is the shard to train on.
 	Device int
 	// Update is the encoded broadcast global model wᵗ for this device's
@@ -80,8 +99,11 @@ type TrainRequest struct {
 
 // TrainReply returns the local solution.
 type TrainReply struct {
-	Round  int
-	Device int
+	Round int
+	// Version echoes TrainRequest.Version: the model version the local
+	// solve started from.
+	Version int
+	Device  int
 	// Update is the encoded local solution for the device's uplink,
 	// decoded against the broadcast view the device trained from.
 	Update comm.Update
@@ -90,11 +112,16 @@ type TrainReply struct {
 }
 
 // EvalRequest asks a worker to evaluate the global model on every shard
-// it hosts.
+// it hosts. The parameters travel encoded on the deployment's shared
+// eval link (downlink codec, direction comm.Eval): every worker decodes
+// the same chained stream, so all evaluators hold the identical view —
+// and so does the simulator under the same seed.
 type EvalRequest struct {
-	// Seq matches replies to requests.
-	Seq    int
-	Params []float64
+	// Seq matches replies to requests. Eval broadcasts are strictly
+	// sequential per deployment; the chained eval link depends on it.
+	Seq int
+	// Update is the encoded global model on the shared eval link.
+	Update comm.Update
 }
 
 // DeviceEval is one shard's contribution to the global metrics.
@@ -151,13 +178,16 @@ func (m meteredConn) Write(p []byte) (int, error) {
 // conn wraps a net.Conn with gob codecs and two locks: mu guards the
 // encoder for interleaved sends, and rtMu serializes whole
 // request/response exchanges so multiple device goroutines can share one
-// worker connection.
+// worker connection. sendTimeout, when positive, bounds each send —
+// without it a peer that stops reading (full TCP buffers) would block
+// the sender in gob Encode forever.
 type conn struct {
-	raw  net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	mu   sync.Mutex // guards enc
-	rtMu sync.Mutex // serializes request/response round-trips
+	raw         net.Conn
+	enc         *gob.Encoder
+	dec         *gob.Decoder
+	sendTimeout time.Duration
+	mu          sync.Mutex // guards enc
+	rtMu        sync.Mutex // serializes request/response round-trips
 }
 
 func newConn(raw net.Conn) *conn {
@@ -167,6 +197,10 @@ func newConn(raw net.Conn) *conn {
 func (c *conn) send(e Envelope) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.sendTimeout > 0 {
+		_ = c.raw.SetWriteDeadline(time.Now().Add(c.sendTimeout))
+		defer c.raw.SetWriteDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(&e); err != nil {
 		return fmt.Errorf("fednet: send: %w", err)
 	}
@@ -181,6 +215,16 @@ func (c *conn) recv() (Envelope, error) {
 		return Envelope{}, fmt.Errorf("fednet: recv: %w", err)
 	}
 	return e, nil
+}
+
+// armRecvDeadline sets (d > 0) or clears (d <= 0) the connection's read
+// deadline — the coordinator's guard against workers that never reply.
+func (c *conn) armRecvDeadline(d time.Duration) {
+	if d <= 0 {
+		_ = c.raw.SetReadDeadline(time.Time{})
+		return
+	}
+	_ = c.raw.SetReadDeadline(time.Now().Add(d))
 }
 
 func (c *conn) close() error { return c.raw.Close() }

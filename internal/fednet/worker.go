@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"slices"
+	"sync"
 
 	"fedprox/internal/comm"
 	"fedprox/internal/data"
@@ -32,6 +33,9 @@ type Worker struct {
 	// with the raw codec so a worker can also be driven directly in
 	// tests.
 	links *comm.LinkState
+	// evalLink is the worker's end of the deployment's shared
+	// evaluation-broadcast link (downlink codec, direction comm.Eval).
+	evalLink *comm.EvalLink
 }
 
 // NewWorker builds a worker hosting the given shards. A nil localSolver
@@ -50,6 +54,7 @@ func NewWorker(mdl model.Model, shards []*data.Shard, localSolver solver.LocalSo
 	w := &Worker{mdl: mdl, shards: byID, local: localSolver}
 	raw := comm.Spec{Name: "raw"}.WithDefaults()
 	w.links, _ = comm.NewLinkState(raw, raw)
+	w.evalLink, _ = comm.NewEvalLink(raw)
 	return w
 }
 
@@ -109,6 +114,18 @@ func (w *Worker) Serve(c *conn) error {
 	if err != nil {
 		return err
 	}
+	w.evalLink, err = comm.NewEvalLink(welcome.Downlink)
+	if err != nil {
+		return err
+	}
+	// Each TrainRequest is served in its own goroutine so an
+	// asynchronous coordinator can pipeline work for several hosted
+	// devices over one connection (it never has more than one request
+	// outstanding per device, so per-device link state stays
+	// single-owner). A send failure inside a handler means the
+	// connection is broken; the serve loop's next recv surfaces it.
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
 	for {
 		env, err := c.recv()
 		if err != nil {
@@ -116,11 +133,17 @@ func (w *Worker) Serve(c *conn) error {
 		}
 		switch {
 		case env.TrainRequest != nil:
-			reply := w.train(env.TrainRequest)
-			if err := c.send(Envelope{TrainReply: &reply}); err != nil {
-				return err
-			}
+			req := env.TrainRequest
+			handlers.Add(1)
+			go func() {
+				defer handlers.Done()
+				reply := w.train(req)
+				_ = c.send(Envelope{TrainReply: &reply})
+			}()
 		case env.EvalRequest != nil:
+			// Eval broadcasts are strictly sequential per deployment and
+			// the eval link chains on their order: decode inline, then
+			// compute metrics concurrently with any running solves.
 			reply := w.eval(env.EvalRequest)
 			if err := c.send(Envelope{EvalReply: &reply}); err != nil {
 				return err
@@ -134,7 +157,7 @@ func (w *Worker) Serve(c *conn) error {
 }
 
 func (w *Worker) train(req *TrainRequest) TrainReply {
-	reply := TrainReply{Round: req.Round, Device: req.Device}
+	reply := TrainReply{Round: req.Round, Version: req.Version, Device: req.Device}
 	shard, ok := w.shards[req.Device]
 	if !ok {
 		reply.Err = fmt.Sprintf("device %d not hosted here", req.Device)
@@ -167,19 +190,24 @@ func (w *Worker) train(req *TrainRequest) TrainReply {
 
 func (w *Worker) eval(req *EvalRequest) EvalReply {
 	reply := EvalReply{Seq: req.Seq}
-	if len(req.Params) != w.mdl.NumParams() {
-		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(req.Params), w.mdl.NumParams())
+	view, err := w.evalLink.Receive(&req.Update)
+	if err != nil {
+		reply.Err = err.Error()
+		return reply
+	}
+	if len(view) != w.mdl.NumParams() {
+		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(view), w.mdl.NumParams())
 		return reply
 	}
 	for id, s := range w.shards {
 		ev := DeviceEval{
 			Device:    id,
-			TrainLoss: w.mdl.Loss(req.Params, s.Train),
+			TrainLoss: w.mdl.Loss(view, s.Train),
 			TrainN:    len(s.Train),
 			TestN:     len(s.Test),
 		}
 		for _, ex := range s.Test {
-			if w.mdl.Predict(req.Params, ex) == ex.Y {
+			if w.mdl.Predict(view, ex) == ex.Y {
 				ev.Correct++
 			}
 		}

@@ -1,0 +1,28 @@
+package solver
+
+import (
+	"time"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+)
+
+// Delayed wraps a LocalSolver with wall-clock latency: Solve sleeps
+// Delay, then delegates. It simulates a device whose hardware — not its
+// data or its optimizer — is slow, so results are identical to the
+// inner solver's, just late. The fednet straggler experiments and tests
+// use it to build fleets with real (not simulated-epoch) heterogeneity.
+type Delayed struct {
+	Inner LocalSolver
+	Delay time.Duration
+}
+
+// Name implements LocalSolver.
+func (s Delayed) Name() string { return s.Inner.Name() }
+
+// Solve implements LocalSolver.
+func (s Delayed) Solve(m model.Model, train []data.Example, w0 []float64, cfg Config, epochs int, rng *frand.Source) []float64 {
+	time.Sleep(s.Delay)
+	return s.Inner.Solve(m, train, w0, cfg, epochs, rng)
+}
