@@ -6,6 +6,7 @@
 //
 //	fedbench -list
 //	fedbench -exp figure1 [-fast] [-datasets synthetic,mnist] [-csv out.csv] [-series]
+//	fedbench -exp ext-async,ext-vtime -fast -json BENCH_ci.json -baseline BENCH_baseline.json
 //	fedbench -exp all -fast
 //
 // By default experiments run at the "full" preset (minutes); -fast runs
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		exp       = flag.String("exp", "", "experiment id or comma-separated ids (see -list), or \"all\"")
 		list      = flag.Bool("list", false, "list available experiments")
 		fast      = flag.Bool("fast", false, "use the miniature preset (seconds per figure)")
 		series    = flag.Bool("series", false, "print full per-round series, not just the summary")
@@ -39,9 +40,11 @@ func main() {
 		downCdc   = flag.String("downlink-codec", "", "override -codec on the broadcast direction")
 		bits      = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
 		topk      = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
-		asyncA    = flag.Float64("async-alpha", 0, "ext-async base mixing rate (0 = core default)")
-		asyncP    = flag.Float64("async-staleness-exp", 0, "ext-async staleness damping exponent (0 = core default, negative = no damping)")
-		asyncK    = flag.Int("async-buffer-k", 0, "ext-async buffered flush size (0 = clients per round)")
+		asyncA    = flag.Float64("async-alpha", 0, "ext-async/ext-vtime base mixing rate (0 = core default)")
+		asyncP    = flag.Float64("async-staleness-exp", 0, "ext-async/ext-vtime staleness damping exponent (0 = core default, negative = no damping)")
+		asyncK    = flag.Int("async-buffer-k", 0, "ext-async/ext-vtime buffered flush size (0 = clients per round)")
+		vtDead    = flag.Float64("vtime-deadline", 0, "ext-vtime sync-deadline policy in virtual seconds (0 = derive from the latency model)")
+		vtBytes   = flag.Int64("vtime-round-bytes", 0, "ext-vtime sync-budget policy in wire bytes per round (0 = ~70% of a full round)")
 	)
 	flag.Parse()
 
@@ -85,8 +88,10 @@ func main() {
 	opts.AsyncAlpha = *asyncA
 	opts.AsyncStalenessExp = *asyncP
 	opts.AsyncBufferK = *asyncK
+	opts.VTimeDeadline = *vtDead
+	opts.VTimeRoundBytes = *vtBytes
 
-	ids := []string{*exp}
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}

@@ -3,11 +3,13 @@ package core
 import "fmt"
 
 // AggregationMode selects how the coordinator folds device updates into
-// the global model. The simulator (core.Run) implements only SyncRounds
-// — the paper's lock-step protocol, which is what its bit-reproducibility
-// guarantees are defined over. The asynchronous modes are executed by the
-// fednet runtime, where wall-clock heterogeneity is real and a round
-// barrier makes every round as slow as its slowest contacted worker.
+// the global model. SyncRounds is the paper's lock-step protocol, where
+// a round barrier makes every round as slow as its slowest contacted
+// worker. The asynchronous modes run in two places: the fednet runtime
+// executes them against the real clock (wall-clock heterogeneity,
+// arrival-order nondeterminism), and the simulator executes them against
+// the internal/vtime virtual clock (Config.VTime), where replies arrive
+// in seeded latency order and the trajectory is bit-reproducible.
 type AggregationMode int
 
 const (

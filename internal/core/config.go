@@ -24,6 +24,7 @@ import (
 	"fedprox/internal/comm"
 	"fedprox/internal/privacy"
 	"fedprox/internal/solver"
+	"fedprox/internal/vtime"
 )
 
 // SamplingScheme selects how devices are sampled and how their returned
@@ -172,14 +173,72 @@ type Config struct {
 	// when set.
 	Capability CapabilityModel
 	// Async selects the coordinator's aggregation discipline. The zero
-	// value is the paper's synchronous round protocol; AsyncTotal and
-	// Buffered are executed only by the fednet runtime (core.Run rejects
-	// them — simulated time has no stragglers to hide). In the async
-	// modes Rounds counts model-version milestones (ClientsPerRound
-	// folds each for AsyncTotal, one BufferK-reply flush each for
-	// Buffered), so the total device work matches a sync run of the same
-	// Rounds.
+	// value is the paper's synchronous round protocol. AsyncTotal and
+	// Buffered are executed by the fednet runtime against the real
+	// clock, or by the simulator against the virtual clock when
+	// VTime.Model is set (core.Run rejects async configs without a
+	// latency model — simulated time needs a clock for replies to race
+	// on). In the async modes Rounds counts model-version milestones
+	// (ClientsPerRound folds each for AsyncTotal, one BufferK-reply
+	// flush each for Buffered), so the total device work matches a sync
+	// run of the same Rounds.
 	Async AsyncConfig
+	// VTime, when enabled (non-nil Model), runs the simulation on the
+	// internal/vtime virtual clock: synchronous rounds are charged their
+	// critical-path duration (slowest contacted device's round-trip plus
+	// the evaluation broadcast), asynchronous modes execute as a
+	// deterministic discrete-event simulation with replies arriving in
+	// latency order, and every evaluated Point records the virtual
+	// wall-clock (Point.VirtualSeconds) with the reply trace in
+	// History.Arrivals.
+	VTime VTimeConfig
+}
+
+// VTimeConfig attaches a virtual-time latency model and its
+// codec-aware straggler policies to a run.
+type VTimeConfig struct {
+	// Model yields per-device compute and transfer durations (see
+	// internal/vtime; vtime.Model composes a compute model such as
+	// syshet.Fleet with a jittered network). Non-nil enables virtual
+	// time.
+	Model vtime.LatencyModel
+	// DeadlineSeconds, when positive, drops any reply arriving later
+	// than this after its round's broadcast began (sync) or its own
+	// dispatch (async). The dropped device's epochs are wasted; its
+	// transfer bytes stay charged (the data moved, the server ignored
+	// it). A deadline-based drop is the clock-native form of the
+	// paper's straggler policy: the tail is cut by time, not by a
+	// designated epoch budget.
+	DeadlineSeconds float64
+	// RoundBytes, when positive, is a wire-byte budget per synchronous
+	// round or per asynchronous milestone window: replies are accepted
+	// in arrival order until the window's cumulative training transfer
+	// bytes (downlink + uplink) exceed the budget, and the remaining
+	// tail is dropped as waste. With codecs configured this is the
+	// ROADMAP's codec-aware straggler policy — the tail is cut by
+	// deadline bytes, not epochs.
+	RoundBytes int64
+}
+
+// Enabled reports whether a virtual-time model is attached.
+func (v VTimeConfig) Enabled() bool { return v.Model != nil }
+
+// Validate reports the first configuration error, or nil. The zero
+// (disabled) config is valid.
+func (v VTimeConfig) Validate() error {
+	if !v.Enabled() {
+		if v.DeadlineSeconds != 0 || v.RoundBytes != 0 {
+			return fmt.Errorf("core: VTime deadline/byte policies require VTime.Model")
+		}
+		return nil
+	}
+	if v.DeadlineSeconds < 0 {
+		return fmt.Errorf("core: VTime.DeadlineSeconds must be non-negative, got %g", v.DeadlineSeconds)
+	}
+	if v.RoundBytes < 0 {
+		return fmt.Errorf("core: VTime.RoundBytes must be non-negative, got %d", v.RoundBytes)
+	}
+	return nil
 }
 
 // Checkpointer persists and restores a run's resumable state. Load
@@ -224,6 +283,27 @@ func (c Config) Validate() error {
 	}
 	if err := c.Async.Validate(); err != nil {
 		return err
+	}
+	if c.Async.Enabled() {
+		// Neither executor of the async modes implements these knobs:
+		// fednet rejects them outright, and the virtual-time path's
+		// per-dispatch schedule has no place for round-scoped capability
+		// budgets, loss-driven mu control, or per-round gamma probes.
+		// Reject rather than silently ignore.
+		switch {
+		case c.Capability != nil:
+			return fmt.Errorf("core: capability models apply only to synchronous rounds (model compute heterogeneity with VTime.Model instead)")
+		case c.AdaptiveMu:
+			return fmt.Errorf("core: adaptive mu applies only to synchronous rounds")
+		case c.TrackGamma:
+			return fmt.Errorf("core: gamma tracking applies only to synchronous rounds")
+		}
+	}
+	if err := c.VTime.Validate(); err != nil {
+		return err
+	}
+	if c.VTime.Enabled() && c.Checkpointer != nil {
+		return fmt.Errorf("core: virtual-time runs and checkpointing cannot be combined (the clock and arrival trace are not checkpointed)")
 	}
 	if c.Privacy != nil {
 		if err := c.Privacy.Validate(); err != nil {

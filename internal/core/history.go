@@ -32,6 +32,12 @@ type Point struct {
 	// there (and in every pre-async history).
 	MeanStaleness float64
 	MaxStaleness  float64
+	// VirtualSeconds is the virtual wall-clock at this evaluation when
+	// the run executes on the internal/vtime engine (Config.VTime):
+	// cumulative over rounds in the synchronous protocol, the engine's
+	// clock at the recording milestone in the asynchronous ones. NaN
+	// when the run has no virtual clock.
+	VirtualSeconds float64
 	// Cost is the cumulative resource accounting up to this round.
 	Cost Cost
 }
@@ -76,12 +82,81 @@ func (c *Cost) Add(o Cost) {
 	c.WastedEpochs += o.WastedEpochs
 }
 
+// Arrival is one transmitted device reply of a virtual-time run: when
+// the broadcast was dispatched, when the reply reached (or would have
+// reached) the coordinator, and what the coordinator did with it. The
+// trace is the raw material for latency-distribution and
+// straggler-policy analysis offline. Devices that never transmit — the
+// designated stragglers discarded under DropStragglers — do not appear;
+// their discarded work is visible in Cost.WastedEpochs instead.
+type Arrival struct {
+	// Device is the contacted device index.
+	Device int
+	// Seq is the dispatch sequence number (unique, increasing).
+	Seq int
+	// Sent is the virtual time the broadcast left the coordinator.
+	Sent float64
+	// Arrived is the virtual time the reply reached the coordinator.
+	Arrived float64
+	// Staleness is the model-version staleness at fold time (0 in the
+	// synchronous protocol; -1 when the reply was not folded).
+	Staleness int
+	// Drop records why the reply was discarded, or ArrivalFolded.
+	Drop DropReason
+}
+
+// DropReason classifies the fate of a virtual-time reply.
+type DropReason int
+
+const (
+	// ArrivalFolded: the reply was aggregated.
+	ArrivalFolded DropReason = iota
+	// DropPolicy: a designated or capability straggler discarded under
+	// DropStragglers. Such devices never transmit a reply, so this
+	// reason marks them in the round planner's bookkeeping but never
+	// appears in the Arrivals trace.
+	DropPolicy
+	// DropDeadline: the reply arrived after VTimeConfig.DeadlineSeconds.
+	DropDeadline
+	// DropBudget: the round/window byte budget (VTimeConfig.RoundBytes)
+	// was already spent when the reply arrived.
+	DropBudget
+	// DropLost: the network lost the reply (LatencyModel.Dropped).
+	DropLost
+	// DropDrain: the reply arrived after the asynchronous schedule
+	// completed its target folds.
+	DropDrain
+)
+
+// String implements fmt.Stringer.
+func (d DropReason) String() string {
+	switch d {
+	case ArrivalFolded:
+		return "folded"
+	case DropPolicy:
+		return "drop-policy"
+	case DropDeadline:
+		return "drop-deadline"
+	case DropBudget:
+		return "drop-budget"
+	case DropLost:
+		return "drop-lost"
+	case DropDrain:
+		return "drop-drain"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(d))
+	}
+}
+
 // History is the evaluated trajectory of one run.
 type History struct {
 	// Label names the method, e.g. "FedProx(mu=1)".
 	Label string
 	// Points are in increasing round order.
 	Points []Point
+	// Arrivals is the per-contact trace of a virtual-time run, in
+	// dispatch order; empty otherwise.
+	Arrivals []Arrival
 }
 
 // Final returns the last evaluated point. It panics on an empty history.
@@ -174,6 +249,27 @@ func (h *History) TracksStaleness() bool {
 	return false
 }
 
+// TracksVirtualTime reports whether the run executed on the virtual
+// clock (Config.VTime) and its points carry VirtualSeconds.
+func (h *History) TracksVirtualTime() bool {
+	for _, p := range h.Points {
+		if !math.IsNaN(p.VirtualSeconds) {
+			return true
+		}
+	}
+	return false
+}
+
+// VirtualDuration returns the virtual wall-clock of the full run — the
+// final evaluated point's VirtualSeconds — or NaN for runs without a
+// virtual clock.
+func (h *History) VirtualDuration() float64 {
+	if len(h.Points) == 0 {
+		return math.NaN()
+	}
+	return h.Final().VirtualSeconds
+}
+
 // String renders the history as an aligned table of evaluated rounds.
 // Asynchronous histories gain staleness columns; synchronous ones keep
 // the historical format.
@@ -181,9 +277,13 @@ func (h *History) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", h.Label)
 	stale := h.TracksStaleness()
+	vt := h.TracksVirtualTime()
 	fmt.Fprintf(&b, "%6s %12s %9s %12s %8s", "round", "train-loss", "test-acc", "grad-var", "mu")
 	if stale {
 		fmt.Fprintf(&b, " %10s %9s", "mean-stale", "max-stale")
+	}
+	if vt {
+		fmt.Fprintf(&b, " %10s", "vtime-s")
 	}
 	b.WriteByte('\n')
 	for _, p := range h.Points {
@@ -199,6 +299,13 @@ func (h *History) String() string {
 				xs = fmt.Sprintf("%.0f", p.MaxStaleness)
 			}
 			fmt.Fprintf(&b, " %10s %9s", ms, xs)
+		}
+		if vt {
+			vs := "-"
+			if !math.IsNaN(p.VirtualSeconds) {
+				vs = fmt.Sprintf("%.3f", p.VirtualSeconds)
+			}
+			fmt.Fprintf(&b, " %10s", vs)
 		}
 		b.WriteByte('\n')
 	}

@@ -20,7 +20,10 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 		return nil, err
 	}
 	if cfg.Async.Enabled() {
-		return nil, fmt.Errorf("core: %s aggregation is executed by the fednet runtime, not the simulator", cfg.Async.Mode)
+		if !cfg.VTime.Enabled() {
+			return nil, fmt.Errorf("core: %s aggregation in the simulator requires a virtual-time latency model (set Config.VTime.Model, see internal/vtime); the fednet runtime executes it against the real clock", cfg.Async.Mode)
+		}
+		return runAsyncVTime(m, fed, cfg)
 	}
 	cfg = cfg.withDefaults()
 	env := NewEnv(fed, cfg)
@@ -39,38 +42,27 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 		muc = newMuController(cfg.Mu, cfg.MuStep, cfg.MuPatience)
 	}
 
+	// With a virtual-time model the synchronous protocol gains duration
+	// semantics: every round charges its critical path to the clock and
+	// the clock-native straggler policies apply (see vsim.go).
+	var vt *vsim
+	if cfg.VTime.Enabled() {
+		vt = newVsim(cfg.VTime, int64(m.NumParams()*8))
+	}
+
 	hist := &History{Label: Label(cfg)}
 	var cost Cost
 	record := func(round int, mu, gamma float64, participants int) error {
 		// With a codec the network evaluates at the decoded eval
 		// broadcast — the view the distributed workers hold — and the
 		// broadcast's encoded size is charged once (the eval link is
-		// shared, not per-device).
-		weval := w
-		if links != nil {
-			view, nbytes, err := links.evalBroadcast(w)
-			if err != nil {
-				return err
-			}
-			weval = view
-			cost.EvalBytes += nbytes
+		// shared, not per-device). See recordPoint for the shared
+		// evaluation and virtual-clock semantics.
+		p, err := recordPoint(m, fed, w, links, vt, cfg.TrackDissimilarity, round, participants, mu, &cost)
+		if err != nil {
+			return err
 		}
-		p := Point{
-			Round:         round,
-			TrainLoss:     metrics.GlobalLoss(m, fed, weval),
-			TestAcc:       metrics.TestAccuracy(m, fed, weval),
-			GradVar:       math.NaN(),
-			B:             math.NaN(),
-			Mu:            mu,
-			MeanGamma:     gamma,
-			Participants:  participants,
-			MeanStaleness: math.NaN(),
-			MaxStaleness:  math.NaN(),
-			Cost:          cost,
-		}
-		if cfg.TrackDissimilarity {
-			p.GradVar, p.B = metrics.Dissimilarity(m, fed, weval)
-		}
+		p.MeanGamma = gamma
 		hist.Points = append(hist.Points, p)
 		return nil
 	}
@@ -89,12 +81,15 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 			startRound = next
 			if savedHist != nil {
 				hist.Points = append(hist.Points, savedHist.Points...)
-				// Simulator histories are always synchronous; checkpoints
-				// written before the staleness columns existed decode
-				// them as 0, which would masquerade as tracked staleness.
+				// Checkpointed histories are always synchronous and
+				// clock-free (Validate rejects async and vtime runs with a
+				// checkpointer); checkpoints written before the staleness
+				// and virtual-time columns existed decode them as 0, which
+				// would masquerade as tracked values.
 				for i := range hist.Points {
 					hist.Points[i].MeanStaleness = math.NaN()
 					hist.Points[i].MaxStaleness = math.NaN()
+					hist.Points[i].VirtualSeconds = math.NaN()
 				}
 			}
 		}
@@ -116,7 +111,7 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 		if muc != nil {
 			mu = muc.Mu()
 		}
-		updates, gammaMean, err := runRound(m, fed, env, t, mu, w, links)
+		updates, gammaMean, err := runRound(m, fed, env, t, mu, w, links, vt)
 		if err != nil {
 			return nil, err
 		}
@@ -143,6 +138,9 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 			}
 		}
 	}
+	if vt != nil {
+		hist.Arrivals = vt.arrivals
+	}
 	return hist, nil
 }
 
@@ -158,7 +156,9 @@ type updateSet struct {
 // model wt at proximal coefficient mu and returns the set of updates to
 // aggregate plus the mean achieved γ (NaN unless tracking is enabled).
 // With links non-nil every transfer passes through the configured codec.
-func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, wt []float64, links *commLinks) (updateSet, float64, error) {
+// With vt non-nil the round is timed on the virtual clock and the
+// clock-native straggler policies may drop the arrival-order tail.
+func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, wt []float64, links *commLinks, vt *vsim) (updateSet, float64, error) {
 	cfg := env.Config()
 	selected := env.SelectDevices(t)
 	epochs, straggler := env.StragglerPlan(t, selected)
@@ -237,6 +237,27 @@ func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, w
 		results[i] = res
 	})
 
+	for _, r := range results {
+		if r.err != nil {
+			return updateSet{}, 0, r.err
+		}
+	}
+
+	// With a virtual clock, time the round: replies race to the server in
+	// latency order, the deadline/byte-budget policies cut the tail, and
+	// the round's critical path lands on the clock.
+	var vdrop []DropReason
+	if vt != nil {
+		okFlags := make([]bool, len(selected))
+		upB := make([]int64, len(selected))
+		for i, r := range results {
+			okFlags[i] = r.ok
+			upB[i] = r.upBytes
+		}
+		vdrop = vt.planRound(t, selected, epochs, downBytes, upB, okFlags)
+	}
+	vDropped := func(i int) bool { return vdrop != nil && results[i].ok && vdrop[i] != ArrivalFolded }
+
 	var set updateSet
 	// Resource accounting. Without a codec this is the historical model:
 	// every selected device downloads wᵗ and performs its epoch budget
@@ -244,7 +265,9 @@ func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, w
 	// aggregated devices upload, and dropped stragglers' epochs are wasted
 	// work — the systems cost of FedAvg's policy. With a codec the link is
 	// explicit: only contacted devices move bytes or spend epochs, and the
-	// byte counts are the encoded wire sizes.
+	// byte counts are the encoded wire sizes. Replies cut by a
+	// virtual-time policy keep their transfer charges — the bytes moved —
+	// except a lost reply's uplink, which never reached the server.
 	if links == nil {
 		paramBytes := int64(m.NumParams() * 8)
 		for i := range selected {
@@ -252,7 +275,7 @@ func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, w
 			set.cost.DeviceEpochs += epochs[i]
 			if dropped(i) {
 				set.cost.WastedEpochs += epochs[i]
-			} else {
+			} else if vdrop == nil || vdrop[i] != DropLost {
 				set.cost.UplinkBytes += paramBytes
 			}
 		}
@@ -266,11 +289,15 @@ func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, w
 		}
 	}
 	gammaSum, gammaN := 0.0, 0
-	for _, r := range results {
-		if r.err != nil {
-			return updateSet{}, 0, r.err
-		}
+	for i, r := range results {
 		if !r.ok {
+			continue
+		}
+		if vDropped(i) {
+			set.cost.WastedEpochs += epochs[i]
+			if vdrop[i] != DropLost {
+				set.cost.UplinkBytes += r.upBytes
+			}
 			continue
 		}
 		set.cost.UplinkBytes += r.upBytes
@@ -362,6 +389,9 @@ func Label(cfg Config) string {
 			base += fmt.Sprintf(" K=%d", a.BufferK)
 		}
 		base += "]"
+	}
+	if cfg.VTime.Enabled() {
+		base += " [vtime]"
 	}
 	return base
 }

@@ -22,6 +22,12 @@ type BenchEntry struct {
 	// recorded one (ext-async does). Informational: machine-speed
 	// dependent, never gated on.
 	Seconds float64 `json:"seconds,omitempty"`
+	// VirtualSeconds is the run's virtual wall-clock when it executed on
+	// the internal/vtime engine (ext-vtime does). Deterministic — the
+	// same seed always yields the same value — but additive to the
+	// schema: the loss gate ignores it, and baselines written before the
+	// field parse unchanged.
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
 }
 
 // BenchEntries flattens the result into gate-comparable entries. Runs
@@ -48,6 +54,9 @@ func (r *Result) BenchEntries() []BenchEntry {
 			}
 			if i < len(sec.Seconds) {
 				e.Seconds = sec.Seconds[i]
+			}
+			if h.TracksVirtualTime() {
+				e.VirtualSeconds = fin.VirtualSeconds
 			}
 			out = append(out, e)
 		}

@@ -43,11 +43,16 @@ type Options struct {
 	// direction (e.g. "raw" to sparsify only the uplink).
 	DownlinkCodec string
 	// AsyncAlpha, AsyncStalenessExp, and AsyncBufferK parameterize the
-	// asynchronous aggregation runs of ext-async (zero selects the
-	// core.AsyncConfig defaults).
+	// asynchronous aggregation runs of ext-async and ext-vtime (zero
+	// selects the core.AsyncConfig defaults).
 	AsyncAlpha        float64
 	AsyncStalenessExp float64
 	AsyncBufferK      int
+	// VTimeDeadline and VTimeRoundBytes override the straggler-policy
+	// knobs of the ext-vtime policy cases (zero derives defaults from
+	// the latency model and the round's wire traffic).
+	VTimeDeadline   float64
+	VTimeRoundBytes int64
 }
 
 // Fast returns miniature settings for benchmarks and CI: every experiment

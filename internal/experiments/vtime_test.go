@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtVTimeAsyncOutpacesSync is the tentpole's acceptance criterion
+// run offline: under a 10x-slow tail on the virtual clock, async
+// completes the same device work in less virtual time than the
+// synchronous protocol at equal-or-better final loss — and, unlike the
+// fednet wall-clock sweep, the whole comparison is deterministic.
+func TestExtVTimeAsyncOutpacesSync(t *testing.T) {
+	o := micro()
+	o.Rounds = 6
+	res, err := Run("ext-vtime", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := res.Sections[0]
+	if len(sec.Runs) != 6 {
+		t.Fatalf("runs = %d, want sync-drop/sync-partial/sync-deadline/sync-budget/async/buffered", len(sec.Runs))
+	}
+	byName := map[string]int{"sync-drop": 0, "sync-partial": 1, "sync-deadline": 2, "sync-budget": 3, "async": 4, "buffered": 5}
+	vtOf := func(name string) float64 { return sec.Runs[byName[name]].VirtualDuration() }
+	lossOf := func(name string) float64 { return sec.Runs[byName[name]].Final().TrainLoss }
+
+	for name := range byName {
+		if d := vtOf(name); !(d > 0) {
+			t.Fatalf("%s: virtual duration %g, want positive", name, d)
+		}
+		if !sec.Runs[byName[name]].TracksVirtualTime() {
+			t.Fatalf("%s does not track virtual time", name)
+		}
+	}
+	// Less virtual time than sync for the same work...
+	if !(vtOf("async") < vtOf("sync-partial")) || !(vtOf("async") < vtOf("sync-drop")) {
+		t.Fatalf("async %.2fvs not faster than sync (partial %.2fvs, drop %.2fvs)",
+			vtOf("async"), vtOf("sync-partial"), vtOf("sync-drop"))
+	}
+	if !(vtOf("buffered") < vtOf("sync-partial")) {
+		t.Fatalf("buffered %.2fvs not faster than sync-partial %.2fvs", vtOf("buffered"), vtOf("sync-partial"))
+	}
+	// ...at equal-or-better final loss than the sync baselines.
+	if lossOf("async") > lossOf("sync-drop") {
+		t.Fatalf("async loss %.4f above sync-drop %.4f", lossOf("async"), lossOf("sync-drop"))
+	}
+	if lossOf("async") > lossOf("sync-partial")*1.05 {
+		t.Fatalf("async loss %.4f more than 5%% above sync-partial %.4f", lossOf("async"), lossOf("sync-partial"))
+	}
+	// The clock-native policies actually cut stragglers and save time.
+	if !(vtOf("sync-deadline") < vtOf("sync-partial")) {
+		t.Fatalf("deadline policy saved no time: %.2fvs vs %.2fvs", vtOf("sync-deadline"), vtOf("sync-partial"))
+	}
+	if !(vtOf("sync-budget") < vtOf("sync-partial")) {
+		t.Fatalf("byte-budget policy saved no time: %.2fvs vs %.2fvs", vtOf("sync-budget"), vtOf("sync-partial"))
+	}
+	if len(sec.Runs[byName["sync-budget"]].Arrivals) == 0 {
+		t.Fatal("no arrival trace on the budget run")
+	}
+}
+
+// TestExtVTimeDeterministic: two full sweeps agree to the bit — the
+// property the fednet ext-async sweep cannot offer.
+func TestExtVTimeDeterministic(t *testing.T) {
+	o := micro()
+	o.Rounds = 3
+	a, err := Run("ext-vtime", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("ext-vtime", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sections[0].Runs {
+		ra, rb := a.Sections[0].Runs[i], b.Sections[0].Runs[i]
+		if len(ra.Points) != len(rb.Points) {
+			t.Fatalf("run %d: point counts differ", i)
+		}
+		for j := range ra.Points {
+			if math.Float64bits(ra.Points[j].TrainLoss) != math.Float64bits(rb.Points[j].TrainLoss) ||
+				math.Float64bits(ra.Points[j].VirtualSeconds) != math.Float64bits(rb.Points[j].VirtualSeconds) {
+				t.Fatalf("run %d point %d differs across identical sweeps", i, j)
+			}
+		}
+	}
+}
+
+// TestExtVTimeBenchEntriesCarryVirtualSeconds: the fedbench -json schema
+// extension — every ext-vtime entry reports its deterministic virtual
+// wall-clock without disturbing the loss-gate fields.
+func TestExtVTimeBenchEntriesCarryVirtualSeconds(t *testing.T) {
+	o := micro()
+	o.Rounds = 3
+	res, err := Run("ext-vtime", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := res.BenchEntries()
+	if len(entries) != 6 {
+		t.Fatalf("bench entries = %d, want 6", len(entries))
+	}
+	for _, e := range entries {
+		if !(e.VirtualSeconds > 0) {
+			t.Fatalf("entry %s missing virtual seconds: %+v", e.Method, e)
+		}
+		if !(e.FinalLoss > 0) || e.Seconds <= 0 {
+			t.Fatalf("entry %s missing gate fields: %+v", e.Method, e)
+		}
+	}
+}

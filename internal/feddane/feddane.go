@@ -57,16 +57,17 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*core.History, error) 
 	hist := &core.History{Label: labelFor(cfg)}
 	record := func(round, participants int) {
 		p := core.Point{
-			Round:         round,
-			TrainLoss:     metrics.GlobalLoss(m, fed, w),
-			TestAcc:       metrics.TestAccuracy(m, fed, w),
-			GradVar:       math.NaN(),
-			B:             math.NaN(),
-			Mu:            ecfg.Mu,
-			MeanGamma:     math.NaN(),
-			Participants:  participants,
-			MeanStaleness: math.NaN(),
-			MaxStaleness:  math.NaN(),
+			Round:          round,
+			TrainLoss:      metrics.GlobalLoss(m, fed, w),
+			TestAcc:        metrics.TestAccuracy(m, fed, w),
+			GradVar:        math.NaN(),
+			B:              math.NaN(),
+			Mu:             ecfg.Mu,
+			MeanGamma:      math.NaN(),
+			Participants:   participants,
+			MeanStaleness:  math.NaN(),
+			MaxStaleness:   math.NaN(),
+			VirtualSeconds: math.NaN(),
 		}
 		if ecfg.TrackDissimilarity {
 			p.GradVar, p.B = metrics.Dissimilarity(m, fed, w)

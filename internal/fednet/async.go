@@ -266,17 +266,18 @@ func (s *Server) trainAsync() (*core.History, error) {
 		cost := acc
 		cost.WireUplinkBytes, cost.WireDownlinkBytes = s.BytesOnWire()
 		p := core.Point{
-			Round:         milestone,
-			TrainLoss:     loss,
-			TestAcc:       tacc,
-			GradVar:       math.NaN(),
-			B:             math.NaN(),
-			Mu:            cfg.Mu,
-			MeanGamma:     math.NaN(),
-			Participants:  participants,
-			MeanStaleness: math.NaN(),
-			MaxStaleness:  math.NaN(),
-			Cost:          cost,
+			Round:          milestone,
+			TrainLoss:      loss,
+			TestAcc:        tacc,
+			GradVar:        math.NaN(),
+			B:              math.NaN(),
+			Mu:             cfg.Mu,
+			MeanGamma:      math.NaN(),
+			Participants:   participants,
+			MeanStaleness:  math.NaN(),
+			MaxStaleness:   math.NaN(),
+			VirtualSeconds: math.NaN(),
+			Cost:           cost,
 		}
 		if staleN > 0 {
 			p.MeanStaleness = staleSum / float64(staleN)

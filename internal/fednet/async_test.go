@@ -8,6 +8,7 @@ import (
 	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/solver"
+	"fedprox/internal/vtime"
 )
 
 func asyncBase(mode core.AggregationMode) core.Config {
@@ -175,16 +176,29 @@ func TestAsyncOutpacesSyncUnderStraggler(t *testing.T) {
 	}
 }
 
-// TestAsyncRejectedBySimulator documents the division of labour: the
-// simulator has no wall clock, so core.Run refuses async configs while
-// fednet accepts them.
-func TestAsyncRejectedBySimulator(t *testing.T) {
+// TestAsyncClockRequirements documents the division of labour: fednet
+// executes async configs against the real clock as-is, while the
+// simulator needs a virtual clock — core.Run refuses an async config
+// without a latency model and accepts it with one (internal/vtime).
+func TestAsyncClockRequirements(t *testing.T) {
 	fed, mdl := testWorkload()
 	cfg := asyncBase(core.AsyncTotal)
 	if _, err := core.Run(mdl, fed, cfg); err == nil {
-		t.Fatal("simulator accepted an async config")
+		t.Fatal("simulator accepted an async config without a latency model")
 	}
 	if _, err := NewServer(mdl, ServerConfig{Training: cfg, ExpectDevices: fed.NumDevices()}); err != nil {
 		t.Fatalf("fednet rejected an async config: %v", err)
+	}
+	cfg.VTime = core.VTimeConfig{Model: vtime.MustModel(
+		vtime.UniformCompute{SecondsPerEpoch: 0.1},
+		vtime.Net{UplinkBps: 1e6, DownlinkBps: 1e6},
+		7,
+	)}
+	h, err := core.Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatalf("simulator rejected an async config with a latency model: %v", err)
+	}
+	if !h.TracksStaleness() || !h.TracksVirtualTime() {
+		t.Fatal("virtual-time async history missing staleness or clock columns")
 	}
 }

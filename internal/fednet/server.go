@@ -270,17 +270,18 @@ func (s *Server) train() (*core.History, error) {
 		cost := acc
 		cost.WireUplinkBytes, cost.WireDownlinkBytes = s.BytesOnWire()
 		hist.Points = append(hist.Points, core.Point{
-			Round:         round,
-			TrainLoss:     loss,
-			TestAcc:       tacc,
-			GradVar:       math.NaN(),
-			B:             math.NaN(),
-			Mu:            mu,
-			MeanGamma:     math.NaN(),
-			Participants:  participants,
-			MeanStaleness: math.NaN(),
-			MaxStaleness:  math.NaN(),
-			Cost:          cost,
+			Round:          round,
+			TrainLoss:      loss,
+			TestAcc:        tacc,
+			GradVar:        math.NaN(),
+			B:              math.NaN(),
+			Mu:             mu,
+			MeanGamma:      math.NaN(),
+			Participants:   participants,
+			MeanStaleness:  math.NaN(),
+			MaxStaleness:   math.NaN(),
+			VirtualSeconds: math.NaN(),
+			Cost:           cost,
 		})
 		return nil
 	}

@@ -142,6 +142,21 @@ func (f *Fleet) EffectiveSpeed(round, device int) float64 {
 	return speed
 }
 
+// ComputeSeconds returns the virtual time the device needs for epochs
+// full passes over its shard at its effective (jittered) speed in the
+// given round. It makes a Fleet a vtime.ComputeModel, so the same
+// hardware population that drives epoch budgets also drives the
+// virtual-time engine's compute leg.
+func (f *Fleet) ComputeSeconds(round, device, epochs int) float64 {
+	if device < 0 || device >= len(f.tierOf) {
+		panic(fmt.Sprintf("syshet: device %d out of range", device))
+	}
+	if epochs <= 0 {
+		return 0
+	}
+	return float64(epochs) * f.batchesPerEpoch[device] / f.EffectiveSpeed(round, device)
+}
+
 // EpochBudget implements core.CapabilityModel: the number of full epochs
 // the device completes before the deadline, capped at requested.
 func (f *Fleet) EpochBudget(round, device, requested int) int {

@@ -8,6 +8,7 @@ import (
 	"fedprox/internal/data"
 	"fedprox/internal/data/synthetic"
 	"fedprox/internal/model/linear"
+	"fedprox/internal/vtime"
 )
 
 func coreWorkload() (*data.Federated, *linear.Model) {
@@ -34,6 +35,38 @@ func testConfig() Config {
 
 func TestFleetImplementsCapabilityModel(t *testing.T) {
 	var _ core.CapabilityModel = NewFleet(testConfig(), sizes(10, 100))
+}
+
+func TestFleetImplementsVTimeCompute(t *testing.T) {
+	var _ vtime.ComputeModel = NewFleet(testConfig(), sizes(10, 100))
+}
+
+// TestComputeSecondsConsistentWithBudget: a device's virtual compute time
+// for its own epoch budget never exceeds the deadline that produced the
+// budget, and one more epoch would overshoot it — the two views of the
+// same clock cycle agree.
+func TestComputeSecondsConsistentWithBudget(t *testing.T) {
+	cfg := testConfig()
+	f := NewFleet(cfg, sizes(30, 100))
+	for r := 0; r < 3; r++ {
+		for k := 0; k < 30; k++ {
+			b := f.EpochBudget(r, k, 20)
+			if b == 0 {
+				continue
+			}
+			if got := f.ComputeSeconds(r, k, b); got > cfg.Deadline {
+				t.Fatalf("device %d round %d: %d budgeted epochs take %g > deadline %g", k, r, b, got, cfg.Deadline)
+			}
+			if b < 20 {
+				if got := f.ComputeSeconds(r, k, b+1); got <= cfg.Deadline {
+					t.Fatalf("device %d round %d: budget %d but %d epochs still fit (%g <= %g)", k, r, b, b+1, got, cfg.Deadline)
+				}
+			}
+		}
+	}
+	if f.ComputeSeconds(0, 0, 0) != 0 {
+		t.Fatal("zero epochs must cost zero time")
+	}
 }
 
 func TestBudgetsWithinRange(t *testing.T) {
