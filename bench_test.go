@@ -346,3 +346,30 @@ func BenchmarkLocalSolverGD(b *testing.B) {
 		solver.GD(mdl, train, w0, cfg, 5)
 	}
 }
+
+// BenchmarkCoordinatorFold measures the coordinator's staleness-damped
+// fold (core.FoldStaleDeltas) — the arithmetic every asynchronous reply
+// crosses on its way into the global model, shared by the fednet runtime
+// and the virtual-time simulator. The workload is one FedBuff-style
+// flush: K buffered deltas of a 10k-parameter model at mixed staleness.
+func BenchmarkCoordinatorFold(b *testing.B) {
+	const dim, k = 10_000, 10
+	rng := frand.New(11)
+	w := rng.NormVec(make([]float64, dim), 0, 1)
+	batch := make([]core.StaleDelta, k)
+	for i := range batch {
+		batch[i] = core.StaleDelta{
+			Delta:   rng.NormVec(make([]float64, dim), 0, 0.01),
+			Weight:  float64(100 + 10*i),
+			Version: i / 2, // mixed staleness against version k
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(8 * dim * k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.FoldStaleDeltas(w, batch, k, core.UniformWeightedAvg, 1, 0.5) {
+			b.Fatal("fold did not advance the model")
+		}
+	}
+}

@@ -1,10 +1,16 @@
 // Command fedserver runs the federated coordinator of the fednet
 // distributed runtime: it owns the global model and round schedule and
-// never sees training data.
+// never sees training data. All protocol decisions happen in the shared
+// core.Coordinator; this process is its TCP driver.
 //
 // Workers and server must agree on -workload, -scale, and -data-seed so
 // every process derives the same dataset partition and model shape; the
 // server uses the dataset only to size the model and count devices.
+//
+// Under -async/-async buffered a worker that disconnects or times out is
+// evicted and the run continues on the survivors; re-running the same
+// fedworker command re-registers its devices and the coordinator
+// re-admits them mid-run with freshly synchronized codec link state.
 //
 //	fedserver -addr :7070 -workload synthetic -rounds 50 -mu 1 &
 //	fedworker -addr localhost:7070 -workload synthetic -workers 3 -index 0 &
@@ -105,6 +111,9 @@ func main() {
 	}
 	fmt.Printf("fedserver: %s on %s — waiting for %d devices\n",
 		core.Label(cfg), *addr, w.Fed.NumDevices())
+	if cfg.Async.Enabled() {
+		fmt.Println("fedserver: async mode — evicted workers may reconnect and will be re-admitted mid-run")
+	}
 	hist, err := srv.Run(*addr)
 	if err != nil {
 		fail(err)

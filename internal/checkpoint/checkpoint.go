@@ -49,6 +49,13 @@ type State struct {
 	Params []float64
 	// History is the evaluated trajectory so far.
 	History core.History
+	// Coordinator is the coordinator's opaque resumable state beyond
+	// params and history: cumulative cost counters plus, for codec runs,
+	// the serialized link state (rounding-stream positions,
+	// error-feedback residuals, broadcast shadows). Checkpoints written
+	// before it existed decode it as nil; core tolerates that for plain
+	// runs and refuses to resume a codec run from such a file.
+	Coordinator []byte
 }
 
 // Validate reports structural problems with the state.
@@ -151,9 +158,9 @@ func Compatible(s *State, fp Fingerprint) error {
 }
 
 // FileCheckpointer adapts the file format to core.Checkpointer so
-// core.Run can persist and resume transparently. Note that the adaptive-μ
-// controller's internal state is not part of the checkpoint: a resumed
-// adaptive run restarts the controller from Config.Mu.
+// core.Run can persist and resume transparently. The opaque coordinator
+// state carries the cumulative cost counters, codec link state, and the
+// adaptive-μ controller, so a resumed run continues all of them.
 type FileCheckpointer struct {
 	// Path is the checkpoint file location.
 	Path string
@@ -171,27 +178,28 @@ func File(path string, fp Fingerprint) *FileCheckpointer {
 
 // Load implements core.Checkpointer. A missing file means "start fresh";
 // an existing file with a mismatched fingerprint is an error.
-func (f *FileCheckpointer) Load() (int, []float64, *core.History, error) {
+func (f *FileCheckpointer) Load() (int, []float64, *core.History, []byte, error) {
 	st, err := LoadFile(f.Path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return 0, nil, nil, nil
+			return 0, nil, nil, nil, nil
 		}
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	if err := Compatible(st, f.Fingerprint); err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	hist := st.History
-	return st.NextRound, st.Params, &hist, nil
+	return st.NextRound, st.Params, &hist, st.Coordinator, nil
 }
 
 // Save implements core.Checkpointer with an atomic file write.
-func (f *FileCheckpointer) Save(nextRound int, params []float64, hist *core.History) error {
+func (f *FileCheckpointer) Save(nextRound int, params []float64, hist *core.History, state []byte) error {
 	st := &State{
 		Fingerprint: f.Fingerprint,
 		NextRound:   nextRound,
 		Params:      append([]float64(nil), params...),
+		Coordinator: append([]byte(nil), state...),
 	}
 	st.Fingerprint.NumParams = len(params)
 	if hist != nil {

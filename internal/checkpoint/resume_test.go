@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/data/synthetic"
 	"fedprox/internal/model/linear"
@@ -116,5 +117,143 @@ func TestCompletedRunResumesAsNoOp(t *testing.T) {
 	}
 	if len(again.Points) != len(first.Points) {
 		t.Fatalf("no-op resume history %d points, want %d", len(again.Points), len(first.Points))
+	}
+}
+
+// TestCodecResumeMatchesUninterruptedRun is the link-state checkpoint
+// guarantee: codec runs carry rounding-stream positions, error-feedback
+// residuals, and broadcast shadows in the checkpoint, so a crash-resume
+// cycle reproduces the uninterrupted compressed trajectory bit for bit.
+func TestCodecResumeMatchesUninterruptedRun(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	for _, spec := range []comm.Spec{
+		{Name: "qsgd", Bits: 8},    // stochastic rounding streams
+		{Name: "topk", TopK: 0.25}, // error-feedback residuals
+		{Name: "delta"},            // chained broadcast shadows
+	} {
+		t.Run(spec.Name, func(t *testing.T) {
+			base := core.FedProx(10, 5, 3, 0.01, 1)
+			base.EvalEvery = 5
+			base.Codec = spec
+			if spec.Name == "topk" {
+				base.DownlinkCodec = comm.Spec{Name: "raw"}
+			}
+
+			straight, err := core.Run(mdl, fed, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := Fingerprint{Dataset: fed.Name, NumParams: mdl.NumParams(), Label: core.Label(base), Seed: base.Seed}
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+
+			half := base
+			half.Rounds = 5
+			half.Checkpointer = File(path, fp)
+			if _, err := core.Run(mdl, fed, half); err != nil {
+				t.Fatal(err)
+			}
+			full := base
+			full.Checkpointer = File(path, fp)
+			resumed, err := core.Run(mdl, fed, full)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(resumed.Points) != len(straight.Points) {
+				t.Fatalf("resumed history has %d points, straight %d", len(resumed.Points), len(straight.Points))
+			}
+			for i := range straight.Points {
+				sp, rp := straight.Points[i], resumed.Points[i]
+				if sp.TrainLoss != rp.TrainLoss || sp.TestAcc != rp.TestAcc {
+					t.Fatalf("round %d: resumed (%.17g, %g) != straight (%.17g, %g)",
+						sp.Round, rp.TrainLoss, rp.TestAcc, sp.TrainLoss, sp.TestAcc)
+				}
+			}
+			// The byte accounting must survive the crash too: the final
+			// cumulative counters coincide because the resumed run
+			// replays neither transfers nor charges.
+			if resumed.Final().Cost != straight.Final().Cost {
+				t.Fatalf("resumed cost %+v != straight %+v", resumed.Final().Cost, straight.Final().Cost)
+			}
+		})
+	}
+}
+
+// TestCodecRefusesLinklessCheckpoint: a codec run must not resume from a
+// checkpoint that carries no link state (e.g. written by a pre-link-state
+// build) — silently restarting the streams would corrupt the chain.
+func TestCodecRefusesLinklessCheckpoint(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	base := core.FedProx(6, 5, 2, 0.01, 1)
+	base.EvalEvery = 3
+	base.Codec = comm.Spec{Name: "qsgd", Bits: 8}
+
+	fp := Fingerprint{Dataset: fed.Name, NumParams: mdl.NumParams(), Label: core.Label(base), Seed: base.Seed}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	half := base
+	half.Rounds = 3
+	half.Checkpointer = File(path, fp)
+	if _, err := core.Run(mdl, fed, half); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the link state, as an old-format checkpoint would decode.
+	st, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Coordinator = nil
+	if err := SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.Checkpointer = File(path, fp)
+	if _, err := core.Run(mdl, fed, full); err == nil {
+		t.Fatal("codec run resumed from a checkpoint without link state")
+	}
+}
+
+// TestAdaptiveMuResumeMatchesUninterruptedRun: the adaptive-mu
+// controller's state (current mu, loss memory, decrease streak) rides in
+// the coordinator checkpoint, so a crash-resume cycle reproduces the
+// uninterrupted adaptive trajectory bit for bit.
+func TestAdaptiveMuResumeMatchesUninterruptedRun(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	base := core.FedProx(10, 5, 3, 0.01, 1)
+	base.EvalEvery = 5
+	base.AdaptiveMu = true
+	base.MuStep = 0.5
+	base.MuPatience = 1 // aggressive controller so divergence would show
+
+	straight, err := core.Run(mdl, fed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint{Dataset: fed.Name, NumParams: mdl.NumParams(), Label: core.Label(base), Seed: base.Seed}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	half := base
+	half.Rounds = 5
+	half.Checkpointer = File(path, fp)
+	if _, err := core.Run(mdl, fed, half); err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.Checkpointer = File(path, fp)
+	resumed, err := core.Run(mdl, fed, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Points) != len(straight.Points) {
+		t.Fatalf("resumed history has %d points, straight %d", len(resumed.Points), len(straight.Points))
+	}
+	for i := range straight.Points {
+		sp, rp := straight.Points[i], resumed.Points[i]
+		if sp.TrainLoss != rp.TrainLoss || sp.Mu != rp.Mu {
+			t.Fatalf("round %d: resumed (loss %.17g, mu %g) != straight (loss %.17g, mu %g)",
+				sp.Round, rp.TrainLoss, rp.Mu, sp.TrainLoss, sp.Mu)
+		}
 	}
 }

@@ -153,18 +153,20 @@ func TestLossyCodecsCompressWithoutDivergence(t *testing.T) {
 	}
 }
 
-// TestCodecRejectsCheckpointing documents that link state (residuals,
-// rounding streams, broadcast shadows) is not checkpointed yet.
-func TestCodecRejectsCheckpointing(t *testing.T) {
+// TestCodecAcceptsCheckpointing: link state (residuals, rounding
+// streams, broadcast shadows) is serialized into the coordinator's
+// checkpoint, so synchronous codec runs may checkpoint — the
+// resume-equivalence test lives in internal/checkpoint.
+func TestCodecAcceptsCheckpointing(t *testing.T) {
 	cfg := FedProx(2, 2, 1, 0.01, 1)
 	cfg.Codec = comm.Spec{Name: "qsgd"}
 	cfg.Checkpointer = &nopCheckpointer{}
-	if err := cfg.Validate(); err == nil {
-		t.Fatal("codec + checkpointer accepted")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("codec + checkpointer rejected: %v", err)
 	}
 }
 
 type nopCheckpointer struct{}
 
-func (nopCheckpointer) Load() (int, []float64, *History, error) { return 0, nil, nil, nil }
-func (nopCheckpointer) Save(int, []float64, *History) error     { return nil }
+func (nopCheckpointer) Load() (int, []float64, *History, []byte, error) { return 0, nil, nil, nil, nil }
+func (nopCheckpointer) Save(int, []float64, *History, []byte) error     { return nil }

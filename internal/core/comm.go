@@ -1,24 +1,25 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"fedprox/internal/comm"
 )
 
-// commLinks is the simulator's view of the network codec state: one
+// commLinks is the coordinator's view of the network codec state: one
 // comm.LinkState holding, per device, the downlink and uplink codec
-// instances and the last delivered broadcast. It is the same state the
-// fednet runtime keeps at its two endpoints, which is why a
-// codec-enabled simulator run and a fednet run under the same seed see
-// identical compressed streams.
+// instances and the last delivered broadcast, plus the shared
+// evaluation-broadcast link. It is the same state the fednet runtime
+// keeps at its two endpoints, which is why a codec-enabled simulator run
+// and a fednet run under the same seed see identical compressed streams.
 type commLinks struct {
 	state *comm.LinkState
-	// eval is the shared evaluation-broadcast link (see ROADMAP "Compress
-	// evaluation traffic"): with a codec configured, every evaluation
-	// happens at the decoded eval broadcast — exactly what the fednet
-	// workers compute their metrics from — and its encoded size lands in
-	// Cost.EvalBytes.
+	// eval is the shared evaluation-broadcast link: with a codec
+	// configured, every evaluation happens at the decoded eval broadcast
+	// — exactly what the fednet workers compute their metrics from — and
+	// its encoded size lands in Cost.EvalBytes.
 	eval *comm.EvalLink
 }
 
@@ -34,49 +35,109 @@ func newCommLinks(downSpec, upSpec comm.Spec) (*commLinks, error) {
 	return &commLinks{state: state, eval: eval}, nil
 }
 
-// evalBroadcast encodes wt on the shared eval link and returns the view
-// the network evaluates at plus the encoded broadcast size.
-func (l *commLinks) evalBroadcast(wt []float64) ([]float64, int64, error) {
+// evalBroadcast encodes wt on the shared eval link and returns the
+// encoded update (wire drivers ship it to every evaluator verbatim) plus
+// the view the network evaluates at.
+func (l *commLinks) evalBroadcast(wt []float64) (*comm.Update, []float64, error) {
 	u, view, err := l.eval.Broadcast(wt)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: eval broadcast: %w", err)
+		return nil, nil, fmt.Errorf("core: eval broadcast: %w", err)
 	}
-	return view, u.WireBytes(), nil
+	return u, view, nil
 }
 
+// evalPrev returns the eval link's current chain base (nil when the eval
+// codec is chain-free) — the state a re-admitted worker must seed its
+// own eval link with to decode the next broadcast in lockstep.
+func (l *commLinks) evalPrev() []float64 { return l.eval.PrevView() }
+
 // broadcast encodes wt for device k's downlink, decodes it as the device
-// will, and returns the device's view of the global model plus the wire
-// bytes moved. It also creates the device's uplink codec on first
-// contact, so the parallel solve phase only ever reads the link maps —
-// call broadcast sequentially, one round at a time.
-func (l *commLinks) broadcast(k int, wt []float64) ([]float64, int64, error) {
+// will, and returns the encoded update, the device's view of the global
+// model, and the wire bytes moved. It also creates the device's uplink
+// codec on first contact, so a parallel solve phase only ever reads the
+// link maps — call broadcast sequentially.
+func (l *commLinks) broadcast(k int, wt []float64) (*comm.Update, []float64, int64, error) {
 	enc, _, err := l.state.Link(k)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: device %d: %w", k, err)
+		return nil, nil, 0, fmt.Errorf("core: device %d: %w", k, err)
 	}
 	prev := l.state.Prev(k)
 	u := enc.Encode(wt, prev)
 	view, err := enc.Decode(u, prev)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: downlink decode for device %d: %w", k, err)
+		return nil, nil, 0, fmt.Errorf("core: downlink decode for device %d: %w", k, err)
 	}
 	l.state.SetPrev(k, view)
-	return view, u.WireBytes(), nil
+	return u, view, u.WireBytes(), nil
 }
 
-// uplink encodes the device's local solution against the broadcast view
-// it trained from and returns the coordinator's decoded version plus the
-// wire bytes moved. Safe to call concurrently for distinct devices once
-// broadcast has created their codecs.
-func (l *commLinks) uplink(k int, wk, view []float64) ([]float64, int64, error) {
+// uplinkEncode encodes the device's local solution against the broadcast
+// view it trained from, exactly as the worker-side encoder does
+// (advancing the same rounding stream / error-feedback residual). Safe
+// to call concurrently for distinct devices once broadcast has created
+// their codecs.
+func (l *commLinks) uplinkEncode(k int, wk, view []float64) (*comm.Update, error) {
 	_, enc, err := l.state.Link(k)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: device %d: %w", k, err)
+		return nil, fmt.Errorf("core: device %d: %w", k, err)
 	}
-	u := enc.Encode(wk, view)
-	got, err := enc.Decode(u, view)
+	return enc.Encode(wk, view), nil
+}
+
+// uplinkDecode reconstructs a device's uplink reply against the
+// broadcast view it trained from. Decoding is stateless.
+func (l *commLinks) uplinkDecode(k int, u *comm.Update, view []float64) ([]float64, error) {
+	_, dec, err := l.state.Link(k)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: uplink decode for device %d: %w", k, err)
+		return nil, fmt.Errorf("core: device %d: %w", k, err)
 	}
-	return got, u.WireBytes(), nil
+	got, err := dec.Decode(u, view)
+	if err != nil {
+		return nil, fmt.Errorf("core: uplink decode for device %d: %w", k, err)
+	}
+	return got, nil
+}
+
+// reset discards device k's link state (both directions plus the
+// broadcast shadow) so the next contact starts a fresh chain — the
+// coordinator's half of re-admitting a reconnected worker, whose own
+// endpoint starts fresh too.
+func (l *commLinks) reset(k int) { l.state.Reset(k) }
+
+// linksSnapshot is the gob envelope of a commLinks checkpoint.
+type linksSnapshot struct {
+	State comm.LinkSnapshot
+	Eval  comm.EvalLinkSnapshot
+}
+
+// snapshot serializes every per-device codec state (rounding-stream
+// positions, error-feedback residuals, broadcast shadows) and the eval
+// chain, so a checkpointed run can resume with bit-identical streams.
+func (l *commLinks) snapshot() ([]byte, error) {
+	st, err := l.state.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := l.eval.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(linksSnapshot{State: st, Eval: ev}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restore rebuilds the link state from a snapshot taken by an equally
+// configured run.
+func (l *commLinks) restore(data []byte) error {
+	var snap linksSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return err
+	}
+	if err := l.state.Restore(snap.State); err != nil {
+		return err
+	}
+	return l.eval.Restore(snap.Eval)
 }

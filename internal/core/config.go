@@ -242,15 +242,22 @@ func (v VTimeConfig) Validate() error {
 }
 
 // Checkpointer persists and restores a run's resumable state. Load
-// returning (0, nil, nil, nil) means "no checkpoint yet — start fresh".
+// returning all zero values means "no checkpoint yet — start fresh".
 // Implementations live outside this package (internal/checkpoint) so the
 // core stays dependency-free.
+//
+// state is the coordinator's opaque resumable extras — cumulative cost
+// counters plus, for codec runs, the serialized link state (rounding
+// streams, error-feedback residuals, broadcast shadows). Implementations
+// persist it verbatim; a codec run refuses to resume from a checkpoint
+// without it.
 type Checkpointer interface {
-	// Load returns the next round to execute, the global parameters, and
-	// the history so far, or zero values when nothing is saved.
-	Load() (nextRound int, params []float64, hist *History, err error)
+	// Load returns the next round to execute, the global parameters, the
+	// history so far, and the opaque coordinator state, or zero values
+	// when nothing is saved.
+	Load() (nextRound int, params []float64, hist *History, state []byte, err error)
 	// Save persists the state reached after round nextRound-1.
-	Save(nextRound int, params []float64, hist *History) error
+	Save(nextRound int, params []float64, hist *History, state []byte) error
 }
 
 // CapabilityModel yields per-(round, device) epoch budgets for the
@@ -316,9 +323,6 @@ func (c Config) Validate() error {
 		}
 		if err := c.DownlinkCodec.Validate(); err != nil {
 			return err
-		}
-		if c.Checkpointer != nil {
-			return fmt.Errorf("core: codecs and checkpointing cannot be combined (link state is not checkpointed)")
 		}
 	} else if c.DownlinkCodec.Enabled() {
 		return fmt.Errorf("core: DownlinkCodec requires Codec to be enabled")

@@ -47,16 +47,23 @@ func (e *Env) InitRNG() *frand.Source { return e.initRng.Split("params") }
 // SelectDevices returns the K device indices participating in the given
 // round under the configured sampling scheme.
 func (e *Env) SelectDevices(round int) []int {
-	k := e.cfg.ClientsPerRound
-	if k > e.fed.NumDevices() {
-		k = e.fed.NumDevices()
+	return drawSelection(e.cfg, e.selRoot.SplitIndex(round), e.weights, e.fed.NumDevices())
+}
+
+// drawSelection is the single implementation of per-round device
+// selection: Env and the Coordinator both call it, so every executor and
+// baseline sees the identical draw for the same seed — the paper's
+// fixed-environment comparison protocol.
+func drawSelection(cfg Config, rng *frand.Source, weights []float64, n int) []int {
+	k := cfg.ClientsPerRound
+	if k > n {
+		k = n
 	}
-	rng := e.selRoot.SplitIndex(round)
-	switch e.cfg.Sampling {
+	switch cfg.Sampling {
 	case WeightedSimpleAvg:
-		return rng.WeightedChoice(e.weights, k)
+		return rng.WeightedChoice(weights, k)
 	default:
-		return rng.Choice(e.fed.NumDevices(), k)
+		return rng.Choice(n, k)
 	}
 }
 
@@ -70,34 +77,41 @@ func (e *Env) SelectDevices(round int) []int {
 // simulated hardware against the round's global clock cycle, and a device
 // straggles exactly when its budget falls short of E.
 func (e *Env) StragglerPlan(round int, selected []int) (epochs []int, straggler []bool) {
+	return drawStragglerPlan(e.cfg, e.stragRoot.SplitIndex(round), round, selected)
+}
+
+// drawStragglerPlan is the single implementation of the per-round
+// straggler designation, shared by Env and the Coordinator. rng is the
+// round's straggler stream; it is only consumed when designated
+// stragglers exist (the capability model replaces the draw entirely).
+func drawStragglerPlan(cfg Config, rng *frand.Source, round int, selected []int) (epochs []int, straggler []bool) {
 	n := len(selected)
 	epochs = make([]int, n)
 	straggler = make([]bool, n)
-	if e.cfg.Capability != nil {
+	if cfg.Capability != nil {
 		for i, k := range selected {
-			b := e.cfg.Capability.EpochBudget(round, k, e.cfg.LocalEpochs)
+			b := cfg.Capability.EpochBudget(round, k, cfg.LocalEpochs)
 			if b < 0 {
 				b = 0
 			}
-			if b > e.cfg.LocalEpochs {
-				b = e.cfg.LocalEpochs
+			if b > cfg.LocalEpochs {
+				b = cfg.LocalEpochs
 			}
 			epochs[i] = b
-			straggler[i] = b < e.cfg.LocalEpochs
+			straggler[i] = b < cfg.LocalEpochs
 		}
 		return epochs, straggler
 	}
 	for i := range epochs {
-		epochs[i] = e.cfg.LocalEpochs
+		epochs[i] = cfg.LocalEpochs
 	}
-	nStrag := int(e.cfg.StragglerFraction*float64(n) + 0.5)
+	nStrag := int(cfg.StragglerFraction*float64(n) + 0.5)
 	if nStrag == 0 {
 		return epochs, straggler
 	}
-	rng := e.stragRoot.SplitIndex(round)
 	for _, i := range rng.Choice(n, nStrag) {
 		straggler[i] = true
-		epochs[i] = rng.IntRange(1, e.cfg.LocalEpochs)
+		epochs[i] = rng.IntRange(1, cfg.LocalEpochs)
 	}
 	return epochs, straggler
 }

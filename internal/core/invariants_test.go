@@ -22,7 +22,7 @@ func TestAggregateConvexHullProperty(t *testing.T) {
 		weights := []float64{float64(w1) + 1, float64(w2) + 1, float64(w3) + 1}
 		for _, scheme := range []SamplingScheme{UniformWeightedAvg, WeightedSimpleAvg} {
 			dst := make([]float64, 4)
-			aggregate(dst, updateSet{params: params, weights: weights}, scheme)
+			aggregate(dst, params, weights, scheme)
 			for j := 0; j < 4; j++ {
 				lo, hi := params[0][j], params[0][j]
 				for _, p := range params[1:] {
@@ -52,7 +52,7 @@ func TestAggregateSingleUpdateIsIdentity(t *testing.T) {
 	p := []float64{1.5, -2, 0.25}
 	for _, scheme := range []SamplingScheme{UniformWeightedAvg, WeightedSimpleAvg} {
 		dst := make([]float64, 3)
-		aggregate(dst, updateSet{params: [][]float64{p}, weights: []float64{7}}, scheme)
+		aggregate(dst, [][]float64{p}, []float64{7}, scheme)
 		for j := range p {
 			if dst[j] != p[j] {
 				t.Fatalf("%v: single-update aggregate differs at %d", scheme, j)
@@ -67,11 +67,11 @@ func TestWeightedAggregateBiasesTowardHeavy(t *testing.T) {
 	a := []float64{0, 0}
 	b := []float64{1, 1}
 	dst := make([]float64, 2)
-	aggregate(dst, updateSet{params: [][]float64{a, b}, weights: []float64{1, 9}}, UniformWeightedAvg)
+	aggregate(dst, [][]float64{a, b}, []float64{1, 9}, UniformWeightedAvg)
 	if dst[0] != 0.9 {
 		t.Fatalf("weighted aggregate = %v, want 0.9 toward heavy device", dst)
 	}
-	aggregate(dst, updateSet{params: [][]float64{a, b}, weights: []float64{1, 9}}, WeightedSimpleAvg)
+	aggregate(dst, [][]float64{a, b}, []float64{1, 9}, WeightedSimpleAvg)
 	if dst[0] != 0.5 {
 		t.Fatalf("simple average = %v, want 0.5", dst)
 	}

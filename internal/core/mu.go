@@ -21,6 +21,24 @@ func newMuController(mu0, step float64, patience int) *muController {
 // Mu returns the coefficient to use for the next round.
 func (c *muController) Mu() float64 { return c.mu }
 
+// muState is the controller's serializable state, carried in the
+// coordinator's checkpoint so a resumed adaptive run continues the
+// controller instead of restarting it at Config.Mu.
+type muState struct {
+	Mu         float64
+	LastLoss   float64
+	HaveLoss   bool
+	DownStreak int
+}
+
+func (c *muController) snapshot() muState {
+	return muState{Mu: c.mu, LastLoss: c.lastLoss, HaveLoss: c.haveLoss, DownStreak: c.downStreak}
+}
+
+func (c *muController) restore(st muState) {
+	c.mu, c.lastLoss, c.haveLoss, c.downStreak = st.Mu, st.LastLoss, st.HaveLoss, st.DownStreak
+}
+
 // Observe feeds the global training loss after a round and updates μ.
 func (c *muController) Observe(loss float64) {
 	if !c.haveLoss {

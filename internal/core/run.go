@@ -1,20 +1,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
 	"fedprox/internal/data"
+	"fedprox/internal/frand"
 	"fedprox/internal/metrics"
 	"fedprox/internal/model"
 	"fedprox/internal/solver"
-	"fedprox/internal/tensor"
+	"fedprox/internal/vtime"
 )
 
 // Run executes one federated optimization run of cfg on (m, fed) and
 // returns the evaluated trajectory.
+//
+// Run is the in-process driver of the shared core.Coordinator: the
+// coordinator makes every protocol decision (selection, straggler
+// policies, aggregation, accounting) and this loop only executes its
+// commands — parallel local solves for Dispatch, metric passes for
+// Evaluate/ObserveLoss, and virtual-clock charges for AdvanceClock when
+// a latency model is attached.
 func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -25,304 +33,211 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 		}
 		return runAsyncVTime(m, fed, cfg)
 	}
-	cfg = cfg.withDefaults()
-	env := NewEnv(fed, cfg)
-	w := m.InitParams(env.InitRNG())
 
-	var links *commLinks
-	if cfg.Codec.Enabled() {
-		var err error
-		if links, err = newCommLinks(cfg.CommSpecs()); err != nil {
-			return nil, err
-		}
+	coord, err := newSimCoordinator(m, fed, cfg)
+	if err != nil {
+		return nil, err
 	}
-
-	var muc *muController
-	if cfg.AdaptiveMu {
-		muc = newMuController(cfg.Mu, cfg.MuStep, cfg.MuPatience)
-	}
-
 	// With a virtual-time model the synchronous protocol gains duration
 	// semantics: every round charges its critical path to the clock and
-	// the clock-native straggler policies apply (see vsim.go).
-	var vt *vsim
+	// the clock-native straggler policies apply.
+	var vt *vtimer
 	if cfg.VTime.Enabled() {
-		vt = newVsim(cfg.VTime, int64(m.NumParams()*8))
+		vt = newVtimer(cfg.VTime, int64(m.NumParams()*8))
+		coord.Tick(vt.eng.Now())
 	}
-
-	hist := &History{Label: Label(cfg)}
-	var cost Cost
-	record := func(round int, mu, gamma float64, participants int) error {
-		// With a codec the network evaluates at the decoded eval
-		// broadcast — the view the distributed workers hold — and the
-		// broadcast's encoded size is charged once (the eval link is
-		// shared, not per-device). See recordPoint for the shared
-		// evaluation and virtual-clock semantics.
-		p, err := recordPoint(m, fed, w, links, vt, cfg.TrackDissimilarity, round, participants, mu, &cost)
-		if err != nil {
-			return err
-		}
-		p.MeanGamma = gamma
-		hist.Points = append(hist.Points, p)
-		return nil
-	}
-
-	startRound := 0
-	if cfg.Checkpointer != nil {
-		next, saved, savedHist, err := cfg.Checkpointer.Load()
-		if err != nil {
-			return nil, fmt.Errorf("core: checkpoint load: %w", err)
-		}
-		if saved != nil {
-			if len(saved) != len(w) {
-				return nil, fmt.Errorf("core: checkpoint has %d params, model has %d", len(saved), len(w))
-			}
-			copy(w, saved)
-			startRound = next
-			if savedHist != nil {
-				hist.Points = append(hist.Points, savedHist.Points...)
-				// Checkpointed histories are always synchronous and
-				// clock-free (Validate rejects async and vtime runs with a
-				// checkpointer); checkpoints written before the staleness
-				// and virtual-time columns existed decode them as 0, which
-				// would masquerade as tracked values.
-				for i := range hist.Points {
-					hist.Points[i].MeanStaleness = math.NaN()
-					hist.Points[i].MaxStaleness = math.NaN()
-					hist.Points[i].VirtualSeconds = math.NaN()
-				}
-			}
-		}
-	}
-	ckptEvery := cfg.CheckpointEvery
-	if ckptEvery <= 0 {
-		ckptEvery = cfg.EvalEvery
-	}
-
-	mu0 := cfg.Mu
-	if startRound == 0 {
-		if err := record(0, mu0, math.NaN(), 0); err != nil {
-			return nil, err
-		}
-	}
-
-	for t := startRound; t < cfg.Rounds; t++ {
-		mu := cfg.Mu
-		if muc != nil {
-			mu = muc.Mu()
-		}
-		updates, gammaMean, err := runRound(m, fed, env, t, mu, w, links, vt)
-		if err != nil {
-			return nil, err
-		}
-		cost.Add(updates.cost)
-
-		if len(updates.params) > 0 {
-			aggregate(w, updates, cfg.Sampling)
-		}
-
-		// The adaptive-μ controller observes the loss every round; other
-		// configurations only pay for evaluation on recorded rounds.
-		needEval := (t+1)%cfg.EvalEvery == 0 || t == cfg.Rounds-1
-		if muc != nil {
-			muc.Observe(metrics.GlobalLoss(m, fed, w))
-		}
-		if needEval {
-			if err := record(t+1, mu, gammaMean, len(updates.params)); err != nil {
-				return nil, err
-			}
-		}
-		if cfg.Checkpointer != nil && ((t+1)%ckptEvery == 0 || t == cfg.Rounds-1) {
-			if err := cfg.Checkpointer.Save(t+1, w, hist); err != nil {
-				return nil, fmt.Errorf("core: checkpoint save: %w", err)
-			}
-		}
-	}
-	if vt != nil {
-		hist.Arrivals = vt.arrivals
-	}
-	return hist, nil
-}
-
-// updateSet collects the models returned by one round's participants plus
-// the round's resource accounting.
-type updateSet struct {
-	params  [][]float64
-	weights []float64 // n_k of each participant
-	cost    Cost
-}
-
-// runRound performs the local solves of round t from the broadcast global
-// model wt at proximal coefficient mu and returns the set of updates to
-// aggregate plus the mean achieved γ (NaN unless tracking is enabled).
-// With links non-nil every transfer passes through the configured codec.
-// With vt non-nil the round is timed on the virtual clock and the
-// clock-native straggler policies may drop the arrival-order tail.
-func runRound(m model.Model, fed *data.Federated, env *Env, t int, mu float64, wt []float64, links *commLinks, vt *vsim) (updateSet, float64, error) {
-	cfg := env.Config()
-	selected := env.SelectDevices(t)
-	epochs, straggler := env.StragglerPlan(t, selected)
-	dropped := func(i int) bool { return cfg.Straggler == DropStragglers && straggler[i] }
-
-	// Broadcast: with a codec, each contacted device receives an encoded
-	// (possibly lossy) view of wᵗ over its downlink and trains from that
-	// view. Encoding is sequential — it advances per-device link state —
-	// but the per-device codecs it creates are then only read in the
-	// parallel phase below.
-	views := make([][]float64, len(selected))
-	downBytes := make([]int64, len(selected))
-	for i, k := range selected {
-		views[i] = wt
-		if links == nil || dropped(i) {
-			continue
-		}
-		view, nbytes, err := links.broadcast(k, wt)
-		if err != nil {
-			return updateSet{}, 0, err
-		}
-		views[i] = view
-		downBytes[i] = nbytes
-	}
-
-	type result struct {
-		w       []float64
-		nk      float64
-		gamma   float64
-		upBytes int64
-		ok      bool
-		err     error
-	}
-	results := make([]result, len(selected))
-
-	scfg := solver.Config{
-		LearningRate: cfg.LearningRate,
-		BatchSize:    cfg.BatchSize,
-		Mu:           mu,
-	}
+	cfg = cfg.withDefaults()
 	local := cfg.Solver
 	if local == nil {
 		local = solver.SGDSolver{}
 	}
 
-	parallelFor(len(selected), cfg.Parallelism, func(i int) {
-		k := selected[i]
-		if dropped(i) {
-			return // dropped: the server never sees this device's work
+	cmds, err := coord.Start()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var dispatches []Dispatch
+		var next []Command
+		for _, cmd := range cmds {
+			switch v := cmd.(type) {
+			case Dispatch:
+				dispatches = append(dispatches, v)
+			case Evaluate:
+				if vt != nil {
+					// Eval traffic is charged on the virtual clock too, so
+					// eval cadence affects deadlines consistently with the
+					// analytic byte accounting.
+					vt.chargeEval(v.WireBytes)
+					coord.Tick(vt.eng.Now())
+				}
+				more, err := coord.EvalDone(simEval(m, fed, v))
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, more...)
+			case ObserveLoss:
+				more, err := coord.LossObserved(metrics.GlobalLoss(m, fed, v.Params))
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, more...)
+			case AdvanceClock:
+				if vt != nil {
+					vt.eng.Advance(v.Seconds)
+					coord.Tick(vt.eng.Now())
+				}
+			case Checkpoint:
+				// Persisted by the coordinator; nothing to execute.
+			case Done:
+				return coord.History(), nil
+			}
 		}
-		shard := fed.Shards[k]
-		// Every device trains from its view of the broadcast wᵗ (wt itself
-		// without a codec); the view is read-only until all workers in this
-		// round finish.
-		view := views[i]
-		wk := local.Solve(m, shard.Train, view, scfg, epochs[i], env.BatchRNG(t, k))
-		if cfg.Privacy != nil {
-			cfg.Privacy.Apply(wk, view, t, k)
-		}
-		res := result{nk: float64(len(shard.Train)), ok: true}
-		if cfg.TrackGamma {
-			// γ measures the device's true local solution against the
-			// broadcast it received, before any uplink loss.
-			res.gamma = solver.Gamma(m, shard.Train, wk, view, scfg)
-		}
-		if links != nil {
-			wkHat, nbytes, err := links.uplink(k, wk, view)
+		if len(dispatches) > 0 {
+			replies, err := runDispatches(m, fed, coord, cfg, local, vt, dispatches)
 			if err != nil {
-				results[i] = result{err: err}
-				return
+				return nil, err
 			}
-			wk = wkHat
-			res.upBytes = nbytes
-		}
-		res.w = wk
-		results[i] = res
-	})
-
-	for _, r := range results {
-		if r.err != nil {
-			return updateSet{}, 0, r.err
-		}
-	}
-
-	// With a virtual clock, time the round: replies race to the server in
-	// latency order, the deadline/byte-budget policies cut the tail, and
-	// the round's critical path lands on the clock.
-	var vdrop []DropReason
-	if vt != nil {
-		okFlags := make([]bool, len(selected))
-		upB := make([]int64, len(selected))
-		for i, r := range results {
-			okFlags[i] = r.ok
-			upB[i] = r.upBytes
-		}
-		vdrop = vt.planRound(t, selected, epochs, downBytes, upB, okFlags)
-	}
-	vDropped := func(i int) bool { return vdrop != nil && results[i].ok && vdrop[i] != ArrivalFolded }
-
-	var set updateSet
-	// Resource accounting. Without a codec this is the historical model:
-	// every selected device downloads wᵗ and performs its epoch budget
-	// (real devices can't know in advance they'll be dropped); only
-	// aggregated devices upload, and dropped stragglers' epochs are wasted
-	// work — the systems cost of FedAvg's policy. With a codec the link is
-	// explicit: only contacted devices move bytes or spend epochs, and the
-	// byte counts are the encoded wire sizes. Replies cut by a
-	// virtual-time policy keep their transfer charges — the bytes moved —
-	// except a lost reply's uplink, which never reached the server.
-	if links == nil {
-		paramBytes := int64(m.NumParams() * 8)
-		for i := range selected {
-			set.cost.DownlinkBytes += paramBytes
-			set.cost.DeviceEpochs += epochs[i]
-			if dropped(i) {
-				set.cost.WastedEpochs += epochs[i]
-			} else if vdrop == nil || vdrop[i] != DropLost {
-				set.cost.UplinkBytes += paramBytes
+			for _, r := range replies {
+				more, err := coord.HandleReply(r)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, more...)
 			}
+		} else if len(next) == 0 {
+			return nil, errors.New("core: coordinator stalled with no commands")
 		}
-	} else {
-		for i := range selected {
-			if dropped(i) {
-				continue
-			}
-			set.cost.DownlinkBytes += downBytes[i]
-			set.cost.DeviceEpochs += epochs[i]
-		}
+		cmds = next
 	}
-	gammaSum, gammaN := 0.0, 0
-	for i, r := range results {
-		if !r.ok {
-			continue
-		}
-		if vDropped(i) {
-			set.cost.WastedEpochs += epochs[i]
-			if vdrop[i] != DropLost {
-				set.cost.UplinkBytes += r.upBytes
-			}
-			continue
-		}
-		set.cost.UplinkBytes += r.upBytes
-		set.params = append(set.params, r.w)
-		set.weights = append(set.weights, r.nk)
-		if cfg.TrackGamma {
-			gammaSum += r.gamma
-			gammaN++
-		}
-	}
-	gamma := math.NaN()
-	if gammaN > 0 {
-		gamma = gammaSum / float64(gammaN)
-	}
-	return set, gamma, nil
 }
 
-// aggregate folds the round's updates into w in place.
-func aggregate(w []float64, set updateSet, scheme SamplingScheme) {
-	switch scheme {
-	case WeightedSimpleAvg:
-		tensor.Mean(w, set.params)
-	default:
-		tensor.WeightedMean(w, set.params, set.weights)
+// newSimCoordinator builds a coordinator with every shard of fed
+// registered as one in-process worker.
+func newSimCoordinator(m model.Model, fed *data.Federated, cfg Config) (*Coordinator, error) {
+	coord, err := NewCoordinator(m, cfg, CoordinatorOptions{NumDevices: fed.NumDevices()})
+	if err != nil {
+		return nil, err
 	}
+	regs := make([]DeviceReg, 0, fed.NumDevices())
+	for _, s := range fed.Shards {
+		regs = append(regs, DeviceReg{ID: s.ID, TrainSize: len(s.Train)})
+	}
+	if _, err := coord.RegisterWorker(regs); err != nil {
+		return nil, err
+	}
+	return coord, nil
+}
+
+// simEval answers an Evaluate command with in-process metric passes over
+// the whole network, at the (possibly codec-decoded) eval broadcast view.
+func simEval(m model.Model, fed *data.Federated, v Evaluate) EvalResult {
+	res := EvalResult{
+		Loss: metrics.GlobalLoss(m, fed, v.Params),
+		Acc:  metrics.TestAccuracy(m, fed, v.Params),
+	}
+	if v.TrackDissimilarity {
+		res.GradVar, res.B = metrics.Dissimilarity(m, fed, v.Params)
+	}
+	return res
+}
+
+// execDispatch serves one Dispatch in process — the local solve plus
+// the uplink encode a remote worker would perform. It returns the
+// reply, the raw (post-privacy) local solution for gamma probes, and
+// the encoded uplink wire size. Shared by the synchronous driver and
+// the virtual-time asynchronous driver so the two cannot drift.
+func execDispatch(m model.Model, fed *data.Federated, coord *Coordinator, local solver.LocalSolver, d Dispatch) (Reply, []float64, int64, error) {
+	shard := fed.Shards[d.Device]
+	scfg := solver.Config{
+		LearningRate: d.LearningRate,
+		BatchSize:    d.BatchSize,
+		Mu:           d.Mu,
+	}
+	// Every device trains from its view of the broadcast wᵗ; the view is
+	// read-only for the life of the dispatch.
+	wk := local.Solve(m, shard.Train, d.View, scfg, d.Epochs, frand.New(d.BatchSeed))
+	r, err := coord.EncodeUplink(d.Device, wk)
+	if err != nil {
+		return Reply{}, nil, 0, err
+	}
+	ub := int64(m.NumParams() * 8)
+	if r.Update != nil {
+		ub = r.Update.WireBytes()
+	}
+	return r, wk, ub, nil
+}
+
+// runDispatches executes one synchronous round's local solves in
+// parallel and, when a latency model is attached, stamps each reply with
+// its virtual transfer timing (sequence numbers allocated in selection
+// order, the ordering rule the arrival race uses).
+func runDispatches(m model.Model, fed *data.Federated, coord *Coordinator, cfg Config, local solver.LocalSolver, vt *vtimer, ds []Dispatch) ([]Reply, error) {
+	replies := make([]Reply, len(ds))
+	errs := make([]error, len(ds))
+	parallelFor(len(ds), cfg.Parallelism, func(i int) {
+		d := ds[i]
+		r, wk, _, err := execDispatch(m, fed, coord, local, d)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if cfg.TrackGamma {
+			// γ measures the device's local solution against the broadcast
+			// it received, before any uplink loss.
+			scfg := solver.Config{LearningRate: d.LearningRate, BatchSize: d.BatchSize, Mu: d.Mu}
+			r.Gamma = solver.Gamma(m, fed.Shards[d.Device].Train, wk, d.View, scfg)
+		}
+		replies[i] = r
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if vt != nil {
+		lat := vt.cfg.Model
+		for i, d := range ds {
+			seq := vt.seq
+			vt.seq++
+			ub := vt.paramBytes
+			if replies[i].Update != nil {
+				ub = replies[i].Update.WireBytes()
+			}
+			replies[i].Timed = true
+			replies[i].Seq = seq
+			replies[i].Rel = lat.DownlinkSeconds(seq, d.Device, d.DownBytes) +
+				lat.ComputeSeconds(d.Round, d.Device, d.Epochs) +
+				lat.UplinkSeconds(seq, d.Device, ub)
+			replies[i].Lost = lat.Dropped(seq, d.Device)
+		}
+	}
+	return replies, nil
+}
+
+// vtimer is a driver's virtual-time state: the engine, the latency
+// model, and the per-transfer sequence counters. The policy decisions
+// (deadline, byte budget) live in the coordinator; this type only turns
+// bytes and epochs into seconds.
+type vtimer struct {
+	cfg        VTimeConfig
+	eng        *vtime.Engine
+	paramBytes int64
+	seq        int // per-dispatch jitter/loss stream index
+	evalSeq    int // per-eval-broadcast stream index
+}
+
+func newVtimer(cfg VTimeConfig, paramBytes int64) *vtimer {
+	return &vtimer{cfg: cfg, eng: vtime.NewEngine(), paramBytes: paramBytes}
+}
+
+// chargeEval advances the clock by the evaluation broadcast's transfer
+// time. Eval traffic rides the shared downlink (vtime.EvalDevice), so a
+// codec that shrinks the eval broadcast also shrinks the time it costs —
+// the virtual-clock counterpart of Cost.EvalBytes.
+func (v *vtimer) chargeEval(bytes int64) {
+	v.eng.Advance(v.cfg.Model.DownlinkSeconds(v.evalSeq, vtime.EvalDevice, bytes))
+	v.evalSeq++
 }
 
 // parallelFor runs fn(i) for i in [0, n) on at most limit workers

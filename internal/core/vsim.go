@@ -1,549 +1,127 @@
 package core
 
+// This file drives the asynchronous aggregation modes (AsyncTotal,
+// Buffered) on the internal/vtime virtual clock. It is a pure driver of
+// the shared core.Coordinator: every protocol decision — device choice,
+// staleness damping, milestone cadence, the deadline and byte-budget
+// policies — happens in the coordinator; this loop only turns Dispatch
+// commands into eagerly computed local solves whose replies arrive on
+// the seeded event queue in latency order.
+//
+// What the fednet runtime buys with wall-clock liveness the simulator
+// buys back as reproducibility: the same seed always yields the same
+// History, bit for bit, because arrival order is decided by the seeded
+// latency model and the queue's (time, seq) tiebreak — never by
+// goroutine scheduling. Both executors feed the identical coordinator,
+// so their trajectories coincide by construction.
+
 import (
 	"errors"
-	"fmt"
-	"math"
-	"sort"
 
 	"fedprox/internal/data"
-	"fedprox/internal/frand"
-	"fedprox/internal/metrics"
 	"fedprox/internal/model"
 	"fedprox/internal/solver"
-	"fedprox/internal/vtime"
 )
 
-// This file runs the simulator on the internal/vtime virtual clock.
-//
-// Synchronous rounds gain duration semantics: a round costs its critical
-// path — the slowest accepted device's downlink + compute + uplink —
-// plus the evaluation broadcast's transfer time, and the clock-native
-// straggler policies (VTimeConfig.DeadlineSeconds, VTimeConfig.RoundBytes)
-// drop the arrival-order tail by time or by wire bytes instead of by a
-// designated epoch budget.
-//
-// The asynchronous modes (AsyncTotal, Buffered) become a deterministic
-// discrete-event simulation that mirrors the fednet coordinator fold for
-// fold: device replies arrive in latency order on the event queue,
-// staleness damping alpha/(1+s)^p applies exactly as in
-// internal/fednet/async.go, and the environment streams (selection,
-// straggler budgets, batch orders) are split per dispatch sequence the
-// same way the fednet async coordinator splits them. What the runtime
-// buys with wall-clock liveness the simulator buys back as
-// reproducibility: the same seed always yields the same History, bit for
-// bit, because arrival order is decided by the seeded latency model and
-// the queue's (time, seq) tiebreak — never by goroutine scheduling.
-
-// vsim is the synchronous path's virtual-time state: the engine, the
-// latency model, per-transfer sequence counters, and the arrival trace.
-type vsim struct {
-	cfg        VTimeConfig
-	eng        *vtime.Engine
-	paramBytes int64
-	seq        int // per-dispatch jitter/loss stream index
-	evalSeq    int // per-eval-broadcast stream index
-	arrivals   []Arrival
-}
-
-func newVsim(cfg VTimeConfig, paramBytes int64) *vsim {
-	return &vsim{cfg: cfg, eng: vtime.NewEngine(), paramBytes: paramBytes}
-}
-
-// chargeEval advances the clock by the evaluation broadcast's transfer
-// time. Eval traffic rides the shared downlink (vtime.EvalDevice), so a
-// codec that shrinks the eval broadcast also shrinks the time it costs —
-// the virtual-clock counterpart of Cost.EvalBytes.
-func (v *vsim) chargeEval(bytes int64) {
-	v.eng.Advance(v.cfg.Model.DownlinkSeconds(v.evalSeq, vtime.EvalDevice, bytes))
-	v.evalSeq++
-}
-
-// planRound computes one synchronous round's virtual timing: per-device
-// arrival times for every reply, the clock-native drop policies applied
-// in arrival order, and the round's critical-path duration charged to
-// the clock. It returns the per-index fate of each selected device
-// (ArrivalFolded for replies the caller should aggregate). downBytes and
-// upBytes are the encoded wire sizes (zeroes mean the uncompressed
-// paramBytes of the legacy accounting); ok marks indices that produced a
-// reply at all (policy-dropped stragglers never transmit).
-func (v *vsim) planRound(t int, selected, epochs []int, downBytes, upBytes []int64, ok []bool) []DropReason {
-	lat := v.cfg.Model
-	start := v.eng.Now()
-	type leg struct {
-		i     int
-		seq   int
-		rel   float64 // arrival relative to the round's broadcast
-		bytes int64
-		lost  bool
-	}
-	legs := make([]leg, 0, len(selected))
-	drop := make([]DropReason, len(selected))
-	for i, k := range selected {
-		if !ok[i] {
-			drop[i] = DropPolicy
-			continue
-		}
-		seq := v.seq
-		v.seq++
-		db, ub := downBytes[i], upBytes[i]
-		if db == 0 {
-			db = v.paramBytes
-		}
-		if ub == 0 {
-			ub = v.paramBytes
-		}
-		rel := lat.DownlinkSeconds(seq, k, db) +
-			lat.ComputeSeconds(t, k, epochs[i]) +
-			lat.UplinkSeconds(seq, k, ub)
-		legs = append(legs, leg{i: i, seq: seq, rel: rel, bytes: db + ub, lost: lat.Dropped(seq, k)})
-	}
-	// Replies race: process them in (arrival, seq) order, the same
-	// ordering rule the event queue uses.
-	sort.Slice(legs, func(a, b int) bool {
-		if legs[a].rel != legs[b].rel {
-			return legs[a].rel < legs[b].rel
-		}
-		return legs[a].seq < legs[b].seq
-	})
-	deadline := v.cfg.DeadlineSeconds
-	duration := 0.0
-	var cum int64
-	for _, l := range legs {
-		// The window budget is consumed in arrival order by every
-		// transfer — including replies later lost or late; their bytes
-		// moved on the wire too.
-		cum += l.bytes
-		reason := ArrivalFolded
-		switch {
-		case l.lost:
-			reason = DropLost
-		case deadline > 0 && l.rel > deadline:
-			reason = DropDeadline
-		case v.cfg.RoundBytes > 0 && cum > v.cfg.RoundBytes:
-			reason = DropBudget
-		}
-		// Server occupancy: an accepted reply holds the round until it
-		// arrives; a late reply holds it until the deadline closes the
-		// round; a lost reply until its expected arrival (the server's
-		// detection point) or the deadline, whichever is earlier. A
-		// budget-dropped reply holds nothing — budget drops are the
-		// arrival-order tail, so the budget was spent (and the round
-		// closed) before it arrived.
-		occ := l.rel
-		switch {
-		case reason == DropBudget:
-			occ = 0
-		case deadline > 0 && (reason == DropDeadline || (reason == DropLost && deadline < occ)):
-			occ = deadline
-		}
-		if occ > duration {
-			duration = occ
-		}
-		drop[l.i] = reason
-		stale := 0
-		if reason != ArrivalFolded {
-			stale = -1
-		}
-		v.arrivals = append(v.arrivals, Arrival{
-			Device:    selected[l.i],
-			Seq:       l.seq,
-			Sent:      start,
-			Arrived:   start + l.rel,
-			Staleness: stale,
-			Drop:      reason,
-		})
-	}
-	v.eng.Advance(duration)
-	return drop
-}
-
-// recordPoint evaluates the network at the (possibly codec-decoded) eval
-// broadcast, charges the broadcast's transfer to the virtual clock when
-// one is attached, and returns the shared point skeleton with the
-// cumulative cost snapshot. Every executor of a run (the synchronous
-// loop, the virtual-time async loop) builds its points here so the
-// evaluation-and-clock semantics cannot drift; callers fill the
-// protocol-specific columns (MeanGamma for synchronous runs, staleness
-// for asynchronous ones).
-func recordPoint(m model.Model, fed *data.Federated, w []float64, links *commLinks, vt *vsim, trackDissim bool, round, participants int, mu float64, cost *Cost) (Point, error) {
-	weval := w
-	evalWire := int64(m.NumParams() * 8)
-	if links != nil {
-		view, nbytes, err := links.evalBroadcast(w)
-		if err != nil {
-			return Point{}, err
-		}
-		weval = view
-		cost.EvalBytes += nbytes
-		evalWire = nbytes
-	}
-	virtual := math.NaN()
-	if vt != nil {
-		// Eval traffic is charged on the virtual clock too, so eval
-		// cadence affects deadlines consistently with the analytic byte
-		// accounting.
-		vt.chargeEval(evalWire)
-		virtual = vt.eng.Now()
-	}
-	p := Point{
-		Round:          round,
-		TrainLoss:      metrics.GlobalLoss(m, fed, weval),
-		TestAcc:        metrics.TestAccuracy(m, fed, weval),
-		GradVar:        math.NaN(),
-		B:              math.NaN(),
-		Mu:             mu,
-		MeanGamma:      math.NaN(),
-		Participants:   participants,
-		MeanStaleness:  math.NaN(),
-		MaxStaleness:   math.NaN(),
-		VirtualSeconds: virtual,
-		Cost:           *cost,
-	}
-	if trackDissim {
-		p.GradVar, p.B = metrics.Dissimilarity(m, fed, weval)
-	}
-	return p, nil
-}
-
-// vbufEntry is one decoded reply waiting in the virtual coordinator's
-// aggregation buffer: the device's model delta relative to the broadcast
-// view it trained from (folding deltas lets a stale reply contribute its
-// local progress without dragging the model back to its older snapshot).
-type vbufEntry struct {
-	delta []float64
-	nk    float64
-	snap  int // model version the reply trained from
-}
-
-// foldStats accumulates staleness statistics across folds between
-// evaluated points.
-type foldStats struct {
-	sum float64
-	max float64
-	n   int
-}
-
-// foldBuffered folds the buffered replies into w, FedBuff style: each
-// delta damped by its own staleness at flush time and combined under the
-// run's sampling scheme,
-//
-//	w ← w + Σ n_k·alpha_k·Δ_k / Σ n_k   (uniform sampling)
-//	w ← w + Σ alpha_k·Δ_k / |B|         (weighted sampling)
-//
-// with alpha_k = alpha/(1+s)^p. This is the exact fold of
-// internal/fednet/async.go; with fresh replies (s = 0, alpha = 1, views
-// = w) it reproduces the synchronous round update. It reports whether
-// the model advanced a version.
-func foldBuffered(w []float64, buffer []vbufEntry, version int, sampling SamplingScheme, alpha, p float64, st *foldStats) bool {
-	num := make([]float64, len(w))
-	den := 0.0
-	for _, e := range buffer {
-		s := float64(version - e.snap)
-		a := alpha / math.Pow(1+s, p)
-		if st != nil {
-			st.sum += s
-			st.n++
-			if s > st.max {
-				st.max = s
-			}
-		}
-		cw := 1.0
-		if sampling != WeightedSimpleAvg {
-			cw = e.nk
-		}
-		den += cw
-		for i, v := range e.delta {
-			num[i] += cw * a * v
-		}
-	}
-	if den == 0 {
-		return false
-	}
-	for i := range w {
-		w[i] += num[i] / den
-	}
-	return true
-}
-
-// vinflight is one outstanding virtual TrainRequest: the decoded reply
-// computed eagerly at dispatch (the simulator need not wait to know it)
-// plus the latency-model verdicts that decide its fate on arrival.
-type vinflight struct {
-	device    int
-	seq       int
-	sent      float64
-	epochs    int
-	delta     []float64
-	nk        float64
-	downBytes int64
-	upBytes   int64
-	version   int        // model version of the broadcast snapshot
-	fate      DropReason // DropLost/DropDeadline predetermined; else ArrivalFolded
-}
-
 // runAsyncVTime executes the asynchronous aggregation modes on the
-// virtual clock. The schedule mirrors internal/fednet/async.go: up to
-// MaxInFlight devices are in flight at all times, each reply folds (or
-// buffers) damped by its staleness the moment it arrives, and Rounds
-// counts model milestones of roundSize replies each, evaluated on the
-// sync cadence. Device selection, partial epoch budgets, and batch
-// orders come from the same per-dispatch environment streams the fednet
-// coordinator uses.
+// virtual clock: up to MaxInFlight devices are in flight at all times,
+// each reply folds (or buffers) damped by its staleness the moment it
+// arrives, and Rounds counts model milestones of roundSize replies each,
+// evaluated on the sync cadence.
 func runAsyncVTime(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
-	cfg = cfg.withDefaults()
-	async := cfg.Async.WithDefaults(cfg.ClientsPerRound)
-	lat := cfg.VTime.Model
-	flushSize, roundSize := 1, cfg.ClientsPerRound
-	if async.Mode == Buffered {
-		flushSize = async.BufferK
-		roundSize = async.BufferK
-	}
-	target := cfg.Rounds * roundSize
-
-	n := fed.NumDevices()
-	if n == 0 {
+	if fed.NumDevices() == 0 {
 		return nil, errors.New("core: vtime async run on an empty network")
 	}
-	root := frand.New(cfg.Seed)
-	selRoot := root.Split("selection")
-	stragRoot := root.Split("stragglers")
-	batchRoot := root.Split("batches")
-	w := m.InitParams(root.Split("init").Split("params"))
-
-	var links *commLinks
-	if cfg.Codec.Enabled() {
-		var err error
-		if links, err = newCommLinks(cfg.CommSpecs()); err != nil {
-			return nil, err
-		}
+	coord, err := newSimCoordinator(m, fed, cfg)
+	if err != nil {
+		return nil, err
 	}
-	paramBytes := int64(m.NumParams() * 8)
-	weights := fed.Weights()
+	vt := newVtimer(cfg.VTime, int64(m.NumParams()*8))
+	coord.Tick(vt.eng.Now())
+	lat := cfg.VTime.Model
 
+	cfg = cfg.withDefaults()
 	local := cfg.Solver
 	if local == nil {
 		local = solver.SGDSolver{}
 	}
-	scfg := solver.Config{LearningRate: cfg.LearningRate, BatchSize: cfg.BatchSize, Mu: cfg.Mu}
 
-	vt := newVsim(cfg.VTime, paramBytes)
-	eng := vt.eng
-	hist := &History{Label: Label(cfg)}
 	var (
-		cost        Cost
-		version     int
-		folded      int
-		dispatchSeq int
-		inFlight    int
-		buffer      []vbufEntry
-		idle        = make(map[int]bool, n)
-		windowBytes int64
-		stats       foldStats
-		runErr      error
+		queue  []Command
+		runErr error
+		done   bool
 	)
-	for id := 0; id < n; id++ {
-		idle[id] = true
-	}
-
-	record := func(milestone, participants int) error {
-		p, err := recordPoint(m, fed, w, links, vt, cfg.TrackDissimilarity, milestone, participants, cfg.Mu, &cost)
-		if err != nil {
-			return err
-		}
-		if stats.n > 0 {
-			p.MeanStaleness = stats.sum / float64(stats.n)
-			p.MaxStaleness = stats.max
-		}
-		hist.Points = append(hist.Points, p)
-		stats = foldStats{}
-		return nil
-	}
-
-	// dispatch ships one virtual TrainRequest to an idle device chosen by
-	// the environment streams (uniform or size-weighted over the sorted
-	// idle set, mirroring the fednet async coordinator). The local solve
-	// runs eagerly — the simulator already knows the answer — and only
-	// the reply's arrival is deferred to the event queue.
-	dispatch := func() error {
-		ids := make([]int, 0, len(idle))
-		for id := range idle {
-			ids = append(ids, id)
-		}
-		if len(ids) == 0 {
-			return nil
-		}
-		sort.Ints(ids)
-		rng := selRoot.SplitIndex(dispatchSeq)
-		var id int
-		if cfg.Sampling == WeightedSimpleAvg {
-			ws := make([]float64, len(ids))
-			for i, d := range ids {
-				ws[i] = weights[d]
-			}
-			id = ids[rng.WeightedChoice(ws, 1)[0]]
-		} else {
-			id = ids[rng.Intn(len(ids))]
-		}
-		epochs := cfg.LocalEpochs
-		if cfg.StragglerFraction > 0 {
-			srng := stragRoot.SplitIndex(dispatchSeq)
-			if srng.Bernoulli(cfg.StragglerFraction) {
-				epochs = srng.IntRange(1, cfg.LocalEpochs)
-			}
-		}
-		batchRng := frand.New(batchRoot.SplitIndex(dispatchSeq).SplitIndex(id).State())
-		seq := dispatchSeq
-		dispatchSeq++
-
-		var view []float64
-		var downB int64
-		if links != nil {
-			var err error
-			if view, downB, err = links.broadcast(id, w); err != nil {
-				return err
-			}
-		} else {
-			view = append([]float64(nil), w...)
-			downB = paramBytes
-		}
-		cost.DownlinkBytes += downB
-		cost.DeviceEpochs += epochs
-
-		shard := fed.Shards[id]
-		wk := local.Solve(m, shard.Train, view, scfg, epochs, batchRng)
-		if cfg.Privacy != nil {
-			cfg.Privacy.Apply(wk, view, seq, id)
-		}
-		upB := paramBytes
-		if links != nil {
-			var err error
-			if wk, upB, err = links.uplink(id, wk, view); err != nil {
-				return err
-			}
-		}
-		delta := make([]float64, len(wk))
-		for i := range wk {
-			delta[i] = wk[i] - view[i]
-		}
-
-		sent := eng.Now()
-		arrive := sent +
-			lat.DownlinkSeconds(seq, id, downB) +
-			lat.ComputeSeconds(seq, id, epochs) +
-			lat.UplinkSeconds(seq, id, upB)
-		fate := ArrivalFolded
-		switch {
-		case lat.Dropped(seq, id):
-			fate = DropLost
-		case cfg.VTime.DeadlineSeconds > 0 && arrive-sent > cfg.VTime.DeadlineSeconds:
-			fate = DropDeadline
-		}
-		in := &vinflight{
-			device:    id,
-			seq:       seq,
-			sent:      sent,
-			epochs:    epochs,
-			delta:     delta,
-			nk:        float64(len(shard.Train)),
-			downBytes: downB,
-			upBytes:   upB,
-			version:   version,
-			fate:      fate,
-		}
-		delete(idle, id)
-		inFlight++
-		eng.Schedule(arrive, func() {
-			inFlight--
-			idle[in.device] = true
-			reason := in.fate
-			if reason == ArrivalFolded && folded >= target {
-				reason = DropDrain
-			}
-			// The byte-budget window consumes each reply's full
-			// round-trip (downlink + uplink) in arrival order, exactly as
-			// the synchronous planRound does per round — a dispatch's
-			// downlink is charged to the window its reply lands in, not
-			// the window it was sent from.
-			roundTrip := in.downBytes + in.upBytes
-			if reason == ArrivalFolded && cfg.VTime.RoundBytes > 0 && windowBytes+roundTrip > cfg.VTime.RoundBytes {
-				reason = DropBudget
-			}
-			staleness := version - in.version
-			switch reason {
-			case ArrivalFolded:
-				cost.UplinkBytes += in.upBytes
-				windowBytes += roundTrip
-				buffer = append(buffer, vbufEntry{delta: in.delta, nk: in.nk, snap: in.version})
-				folded++
-				if len(buffer) >= flushSize {
-					if foldBuffered(w, buffer, version, cfg.Sampling, async.Alpha, async.StalenessExponent, &stats) {
-						version++
-					}
-					buffer = buffer[:0]
-				}
-				if folded%roundSize == 0 {
-					windowBytes = 0 // the byte-budget window is per milestone
-					milestone := folded / roundSize
-					if milestone%cfg.EvalEvery == 0 || milestone == cfg.Rounds {
-						if err := record(milestone, roundSize); err != nil && runErr == nil {
-							runErr = err
-						}
-					}
-				}
-			case DropLost:
-				// The reply vanished in transit: its uplink never reached
-				// the coordinator, so no uplink bytes — only its downlink
-				// consumed the window, and its work is waste.
-				windowBytes += in.downBytes
-				cost.WastedEpochs += in.epochs
-				staleness = -1
-			default: // DropDeadline, DropBudget, DropDrain
-				// The transfer happened; the coordinator ignored it.
-				cost.UplinkBytes += in.upBytes
-				windowBytes += roundTrip
-				cost.WastedEpochs += in.epochs
-				staleness = -1
-			}
-			hist.Arrivals = append(hist.Arrivals, Arrival{
-				Device:    in.device,
-				Seq:       in.seq,
-				Sent:      in.sent,
-				Arrived:   eng.Now(),
-				Staleness: staleness,
-				Drop:      reason,
-			})
-		})
-		return nil
-	}
-
-	if err := record(0, 0); err != nil {
+	queue, err = coord.Start()
+	if err != nil {
 		return nil, err
 	}
-	// Safety valve: policies that drop every reply (a byte budget below
-	// one round-trip, a deadline below the fastest latency) would
-	// otherwise dispatch forever.
-	maxDispatches := 64*target + 1024
-	for folded < target && runErr == nil {
-		for folded+inFlight < target && inFlight < async.MaxInFlight && len(idle) > 0 {
-			if dispatchSeq >= maxDispatches {
-				return nil, fmt.Errorf("core: vtime async made no progress after %d dispatches — the deadline/byte-budget policy drops every reply", dispatchSeq)
-			}
-			if err := dispatch(); err != nil {
-				return nil, err
+	for {
+		for len(queue) > 0 && runErr == nil {
+			cmd := queue[0]
+			queue = queue[1:]
+			switch v := cmd.(type) {
+			case Dispatch:
+				// The local solve runs eagerly — the simulator already
+				// knows the answer — and only the reply's arrival is
+				// deferred to the event queue. In-process shipping cannot
+				// fail, so the transfer is confirmed immediately.
+				coord.DispatchSent(v.Device)
+				r, _, ub, err := execDispatch(m, fed, coord, local, v)
+				if err != nil {
+					runErr = err
+					break
+				}
+				sent := vt.eng.Now()
+				arrive := sent +
+					lat.DownlinkSeconds(v.Seq, v.Device, v.DownBytes) +
+					lat.ComputeSeconds(v.Seq, v.Device, v.Epochs) +
+					lat.UplinkSeconds(v.Seq, v.Device, ub)
+				// Stamp the reply's own latency: the deadline policy must
+				// judge it, not the clock delta at arrival (an eval charge
+				// can overtake the scheduled arrival time).
+				r.Timed = true
+				r.Seq = v.Seq
+				r.Rel = arrive - sent
+				r.Lost = lat.Dropped(v.Seq, v.Device)
+				vt.eng.Schedule(arrive, func() {
+					coord.Tick(vt.eng.Now())
+					more, err := coord.HandleReply(r)
+					if err != nil && runErr == nil {
+						runErr = err
+						return
+					}
+					queue = append(queue, more...)
+				})
+			case Evaluate:
+				// Eval traffic is charged on the virtual clock too, so eval
+				// cadence affects deadlines consistently with the analytic
+				// byte accounting.
+				vt.chargeEval(v.WireBytes)
+				coord.Tick(vt.eng.Now())
+				more, err := coord.EvalDone(simEval(m, fed, v))
+				if err != nil {
+					runErr = err
+					break
+				}
+				queue = append(queue, more...)
+			case Done:
+				done = true
+			case Checkpoint, ObserveLoss, AdvanceClock:
+				// Never emitted for asynchronous schedules.
 			}
 		}
-		if inFlight == 0 {
+		if runErr != nil {
+			return nil, runErr
+		}
+		if done {
+			return coord.History(), nil
+		}
+		// Drain semantics: replies arriving after the schedule completed
+		// are waste, recorded in the arrival trace but not the evaluated
+		// history — the coordinator emits Done only once the last
+		// in-flight reply has landed.
+		if !vt.eng.Step() {
 			return nil, errors.New("core: vtime async stalled with no replies in flight")
 		}
-		eng.Step()
 	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	// Drain: in-flight replies arriving after the schedule completed are
-	// waste, exactly as in the fednet coordinator's drain phase. They
-	// extend the arrival trace but not the recorded history.
-	eng.Run()
-	return hist, nil
 }

@@ -89,8 +89,10 @@ func TestAsyncRequiresLatencyModel(t *testing.T) {
 
 type nullCheckpointer struct{}
 
-func (nullCheckpointer) Load() (int, []float64, *History, error) { return 0, nil, nil, nil }
-func (nullCheckpointer) Save(int, []float64, *History) error     { return nil }
+func (nullCheckpointer) Load() (int, []float64, *History, []byte, error) {
+	return 0, nil, nil, nil, nil
+}
+func (nullCheckpointer) Save(int, []float64, *History, []byte) error { return nil }
 
 // TestVTimeAsyncDeterministic is the tentpole's reproducibility
 // criterion: two virtual-time async runs under the same seed produce
@@ -164,19 +166,18 @@ func TestFreshFoldReproducesSyncUpdate(t *testing.T) {
 	weights := []float64{10, 30, 60}
 	for _, sampling := range []SamplingScheme{UniformWeightedAvg, WeightedSimpleAvg} {
 		sync := append([]float64(nil), w0...)
-		set := updateSet{params: params, weights: weights}
-		aggregate(sync, set, sampling)
+		aggregate(sync, params, weights, sampling)
 
 		async := append([]float64(nil), w0...)
-		var buffer []vbufEntry
+		var buffer []StaleDelta
 		for i, p := range params {
 			delta := make([]float64, len(p))
 			for j := range p {
 				delta[j] = p[j] - w0[j] // fresh: every view is w0
 			}
-			buffer = append(buffer, vbufEntry{delta: delta, nk: weights[i], snap: 0})
+			buffer = append(buffer, StaleDelta{Delta: delta, Weight: weights[i], Version: 0})
 		}
-		if !foldBuffered(async, buffer, 0, sampling, 1 /* alpha */, 0.5, nil) {
+		if !FoldStaleDeltas(async, buffer, 0, sampling, 1 /* alpha */, 0.5) {
 			t.Fatal("fold did not advance the model")
 		}
 		for j := range sync {
@@ -510,7 +511,7 @@ func TestVTimeEvalChargedOnClock(t *testing.T) {
 	// Guard against a silently zero den in the fold helper: an empty
 	// buffer must not advance or mutate the model.
 	w := []float64{1, 2}
-	if foldBuffered(w, nil, 0, UniformWeightedAvg, 1, 0.5, nil) {
+	if FoldStaleDeltas(w, nil, 0, UniformWeightedAvg, 1, 0.5) {
 		t.Fatal("empty buffer advanced the model")
 	}
 	if w[0] != 1 || w[1] != 2 {

@@ -3,66 +3,40 @@ package fednet
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
+	"net"
 	"time"
 
-	"fedprox/internal/comm"
 	"fedprox/internal/core"
-	"fedprox/internal/frand"
 )
 
-// This file implements the coordinator's asynchronous aggregation modes
-// (core.AsyncTotal, core.Buffered). Where the synchronous protocol runs
-// lock-step rounds — every round as slow as its slowest contacted worker,
-// the exact failure mode FedProx targets — the asynchronous coordinator
-// keeps MaxInFlight devices training at all times and folds replies into
-// a version-stamped global model as they arrive, damping each
-// contribution by its staleness:
+// This file drives the coordinator's asynchronous aggregation modes
+// (core.AsyncTotal, core.Buffered) over real connections. Where the
+// synchronous protocol runs lock-step rounds — every round as slow as
+// its slowest contacted worker, the exact failure mode FedProx targets —
+// the asynchronous schedule keeps MaxInFlight devices training at all
+// times and folds replies into a version-stamped global model as they
+// arrive, damping each contribution by its staleness alpha/(1+s)^p.
 //
-//	alpha_k = Alpha / (1 + s)^p,   s = versions elapsed since the
-//	                               worker's broadcast snapshot
+// All of that logic lives in core.Coordinator; this loop only owns the
+// transport: per-conn reader goroutines route interleaved replies to the
+// aggregator, RequestTimeout and connection errors become WorkerLost
+// events (the worker's devices are evicted and its in-flight work
+// charged as waste, while aggregation continues on the survivors), and
+// Dispatch/Evaluate commands become pipelined TrainRequests and
+// broadcast EvalRequests.
 //
-// AsyncTotal advances one model version per reply; Buffered accumulates
-// BufferK replies and advances one version per flush (FedBuff-style).
-// Replies keep flowing while older ones fold, so per-device codec link
-// state must be version-aware: every in-flight request records the
-// broadcast view and model version it was encoded at, and uplink replies
-// decode against exactly that view. The coordinator guarantees at most
-// one outstanding request per device, which keeps each device's chained
-// downlink state and stateful uplink codec single-owner even though many
-// devices interleave on one connection.
+// Failure is a round trip, not a one-way door: the listener keeps
+// accepting for the whole run, so an evicted worker can reconnect. Its
+// Hello is re-validated (same devices, same sizes, codec offer) and the
+// coordinator re-admits the devices with reset link state on both
+// endpoints — the re-admission Welcome carries the shared eval chain's
+// current base so the rejoining worker decodes the next evaluation
+// broadcast in lockstep.
 //
 // The asynchronous modes trade the sync path's bit-reproducibility for
-// liveness: arrival order is real-time nondeterminism. They are also
-// straggler-resilient in failure, not just latency — a worker that times
-// out (ServerConfig.RequestTimeout) or disconnects is evicted and its
-// in-flight work is charged as waste, while aggregation continues on the
-// surviving devices.
-
-// inflight records one outstanding TrainRequest: the model version and
-// decoded broadcast view the request was encoded against (the uplink
-// decode base), plus bookkeeping for timeout eviction and waste
-// accounting.
-type inflight struct {
-	device  int
-	version int
-	view    []float64
-	dec     comm.Codec
-	epochs  int
-	sentAt  time.Time
-}
-
-// bufEntry is one decoded reply waiting in the aggregation buffer: the
-// device's model delta relative to the broadcast view it trained from,
-// not its absolute solution — folding deltas means a stale reply
-// contributes its local progress without dragging the global model back
-// toward the older point it started at.
-type bufEntry struct {
-	delta []float64 // wk − view (the device's local progress)
-	nk    float64
-	snap  int // model version the reply trained from
-}
+// liveness: arrival order is real-time nondeterminism. The simulator
+// executes the same coordinator against the internal/vtime virtual
+// clock instead, where the trajectory is bit-reproducible.
 
 // asyncMsg is what a per-conn reader delivers to the aggregator: one
 // received envelope, or the receive error that ended the reader.
@@ -72,6 +46,12 @@ type asyncMsg struct {
 	err error
 }
 
+// regMsg is a mid-run registration attempt from a reconnecting worker.
+type regMsg struct {
+	c     *conn
+	hello *Hello
+}
+
 // connState is the aggregator's bookkeeping for one worker connection.
 type connState struct {
 	c       *conn
@@ -79,449 +59,381 @@ type connState struct {
 	dead    bool
 }
 
-// trainAsync runs the asynchronous aggregation schedule. cfg.Rounds
-// counts model milestones of roundSize replies each (ClientsPerRound for
-// AsyncTotal, BufferK for Buffered), so total device work matches a sync
-// run of the same Rounds, and evaluation cadence (round 0, every
-// EvalEvery milestones, the final milestone) lines up point for point
-// with the synchronous history.
-func (s *Server) trainAsync() (*core.History, error) {
-	cfg := s.cfg.Training
-	if cfg.EvalEvery <= 0 {
-		cfg.EvalEvery = 1
-	}
-	async := cfg.Async.WithDefaults(cfg.ClientsPerRound)
-	flushSize := 1
-	roundSize := cfg.ClientsPerRound
-	if async.Mode == core.Buffered {
-		flushSize = async.BufferK
-		roundSize = async.BufferK
-	}
-	target := cfg.Rounds * roundSize
+// asyncDriver owns the transport state of one asynchronous run.
+type asyncDriver struct {
+	s        *Server
+	conns    map[*conn]*connState
+	inflight map[int]time.Time // device -> dispatch time, for timeouts
+	replyCh  chan asyncMsg
+	regCh    chan regMsg
+	done     chan struct{}
+	stash    []asyncMsg
+}
 
-	n := s.cfg.ExpectDevices
-	root := frand.New(cfg.Seed)
-	selRoot := root.Split("selection")
-	stragRoot := root.Split("stragglers")
-	batchRoot := root.Split("batches")
-	initRng := root.Split("init").Split("params")
-
-	weights := make([]float64, n)
-	total := 0
-	for id, d := range s.devices {
-		weights[id] = float64(d.trainSize)
-		total += d.trainSize
+// trainAsync runs the asynchronous schedule. The listener stays open so
+// evicted workers can reconnect; it is closed when the run ends.
+func (s *Server) trainAsync(ln net.Listener) (*core.History, error) {
+	d := &asyncDriver{
+		s:        s,
+		conns:    make(map[*conn]*connState, len(s.conns)),
+		inflight: make(map[int]time.Time),
+		replyCh:  make(chan asyncMsg, len(s.conns)+64),
+		regCh:    make(chan regMsg, 4),
+		done:     make(chan struct{}),
 	}
-	for i := range weights {
-		weights[i] /= float64(total)
+	defer close(d.done)
+	defer ln.Close() // stops the re-admission accept loop
+	for _, c := range s.conns {
+		d.conns[c] = &connState{c: c}
 	}
+	for id, dev := range s.devices {
+		d.conns[dev.conn].devices = append(d.conns[dev.conn].devices, id)
+	}
+	for _, c := range s.conns {
+		d.startReader(c)
+	}
+	go d.acceptLoop(ln)
+	return d.run()
+}
 
-	w := s.mdl.InitParams(initRng)
+// startReader routes every inbound envelope of one connection (train and
+// eval replies interleaved) to the aggregator. done unblocks readers
+// once the aggregator returns; the deferred shutdown in RunWithListener
+// closes the conns, which unblocks any reader still parked in recv.
+func (d *asyncDriver) startReader(c *conn) {
+	go func() {
+		for {
+			env, err := c.recv()
+			select {
+			case d.replyCh <- asyncMsg{c: c, env: env, err: err}:
+			case <-d.done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
 
-	links, err := comm.NewLinkState(s.downSpec, s.upSpec)
+// acceptLoop admits reconnecting workers for the whole run: each
+// accepted connection gets a handshake goroutine (so a rogue connection
+// that never sends a Hello cannot block further accepts) whose Hello is
+// handed to the aggregator for validation and re-admission.
+func (d *asyncDriver) acceptLoop(ln net.Listener) {
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return // listener closed: run over
+		}
+		c := d.s.newMeteredConn(raw)
+		go func() {
+			// The Hello read is deadline-bounded: a connection that never
+			// registers must release its goroutine and socket instead of
+			// leaking for the life of the process.
+			handshake := d.s.cfg.RequestTimeout
+			if handshake <= 0 {
+				handshake = 30 * time.Second
+			}
+			c.armRecvDeadline(handshake)
+			env, err := c.recv()
+			c.armRecvDeadline(0)
+			if err != nil || env.Hello == nil {
+				_ = c.close()
+				return
+			}
+			select {
+			case d.regCh <- regMsg{c: c, hello: env.Hello}:
+			case <-d.done:
+				_ = c.close()
+			}
+		}()
+	}
+}
+
+// run is the aggregator loop: execute coordinator commands, then block
+// for the next transport event and translate it.
+func (d *asyncDriver) run() (*core.History, error) {
+	s := d.s
+	queue, err := s.coord.Start()
 	if err != nil {
 		return nil, err
 	}
-	legacyAccounting := !cfg.Codec.Enabled()
-	var acc core.Cost
-
-	// Per-conn readers: the strict request/response discipline of the
-	// sync path does not survive pipelining, so each connection gets a
-	// reader goroutine that routes every inbound envelope (train and
-	// eval replies interleaved) to the aggregator. done unblocks readers
-	// once the aggregator returns; the deferred shutdown in
-	// RunWithListener closes the conns, which unblocks any reader still
-	// parked in recv.
-	conns := make(map[*conn]*connState, len(s.conns))
-	for _, c := range s.conns {
-		conns[c] = &connState{c: c}
-	}
-	for id, d := range s.devices {
-		conns[d.conn].devices = append(conns[d.conn].devices, id)
-	}
-	replyCh := make(chan asyncMsg, len(s.conns)+async.MaxInFlight+8)
-	done := make(chan struct{})
-	defer close(done)
-	for _, c := range s.conns {
-		go func(c *conn) {
-			for {
-				env, err := c.recv()
-				select {
-				case replyCh <- asyncMsg{c: c, env: env, err: err}:
-				case <-done:
-					return
+	for {
+		for len(queue) > 0 {
+			cmd := queue[0]
+			queue = queue[1:]
+			switch v := cmd.(type) {
+			case core.Dispatch:
+				more, err := d.dispatch(v)
+				if err != nil {
+					return nil, err
+				}
+				queue = append(queue, more...)
+			case core.Evaluate:
+				res, lost, err := d.evaluate(v)
+				for _, devs := range lost {
+					more, werr := s.coord.WorkerLost(devs)
+					if werr != nil {
+						return nil, werr
+					}
+					queue = append(queue, more...)
 				}
 				if err != nil {
-					return
+					return nil, err
+				}
+				more, err := s.coord.EvalDone(res)
+				if err != nil {
+					return nil, err
+				}
+				queue = append(queue, more...)
+			case core.Done:
+				return s.coord.History(), nil
+			default:
+				// Checkpoint/ObserveLoss/AdvanceClock are never emitted
+				// for fednet configurations (rejected by NewServer).
+			}
+		}
+		more, err := d.waitEvent()
+		if err != nil {
+			return nil, err
+		}
+		queue = more
+	}
+}
+
+// dispatch ships one TrainRequest. A send failure means the worker is
+// gone: its devices are evicted (the coordinator charges the in-flight
+// work as waste) and aggregation continues.
+func (d *asyncDriver) dispatch(v core.Dispatch) ([]core.Command, error) {
+	cs := d.conns[d.s.devices[v.Device].conn]
+	req := TrainRequest{
+		Round:        v.Round,
+		Version:      v.Version,
+		Device:       v.Device,
+		Update:       *v.Update,
+		Epochs:       v.Epochs,
+		Mu:           v.Mu,
+		LearningRate: v.LearningRate,
+		BatchSize:    v.BatchSize,
+		BatchSeed:    v.BatchSeed,
+	}
+	if cs.dead {
+		return d.s.coord.WorkerLost([]int{v.Device})
+	}
+	if err := cs.c.send(Envelope{TrainRequest: &req}); err != nil {
+		return d.failConn(cs)
+	}
+	// Only a confirmed send is billed as traffic and device work.
+	d.s.coord.DispatchSent(v.Device)
+	d.inflight[v.Device] = time.Now()
+	return nil, nil
+}
+
+// failConn evicts a connection: closes it, clears its devices' in-flight
+// bookkeeping, and reports the loss to the coordinator.
+func (d *asyncDriver) failConn(cs *connState) ([]core.Command, error) {
+	if cs.dead {
+		return nil, nil
+	}
+	cs.dead = true
+	_ = cs.c.close()
+	for _, id := range cs.devices {
+		delete(d.inflight, id)
+	}
+	cmds, err := d.s.coord.WorkerLost(cs.devices)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: async %w", err)
+	}
+	return cmds, nil
+}
+
+// waitEvent blocks for the next transport event (a stashed message, a
+// reply, a re-registration, or a timeout) and translates it into
+// coordinator events.
+func (d *asyncDriver) waitEvent() ([]core.Command, error) {
+	s := d.s
+	var m asyncMsg
+	if len(d.stash) > 0 {
+		m, d.stash = d.stash[0], d.stash[1:]
+	} else {
+		var timeout <-chan time.Time
+		if s.cfg.RequestTimeout > 0 && len(d.inflight) > 0 {
+			earliest := time.Time{}
+			for _, at := range d.inflight {
+				dl := at.Add(s.cfg.RequestTimeout)
+				if earliest.IsZero() || dl.Before(earliest) {
+					earliest = dl
 				}
 			}
-		}(c)
+			timeout = time.After(time.Until(earliest))
+		}
+		select {
+		case m = <-d.replyCh:
+		case reg := <-d.regCh:
+			return d.admit(reg)
+		case <-timeout:
+			var cmds []core.Command
+			now := time.Now()
+			for id, at := range d.inflight {
+				if now.Sub(at) >= s.cfg.RequestTimeout {
+					more, err := d.failConn(d.conns[s.devices[id].conn])
+					if err != nil {
+						return nil, err
+					}
+					cmds = append(cmds, more...)
+				}
+			}
+			return cmds, nil
+		}
 	}
 
-	// Aggregator state. All of it is owned by this goroutine; the only
-	// concurrency is the readers feeding replyCh and the workers' own
-	// solves.
-	var (
-		version     int // global model version
-		folded      int // replies folded (or discarded in drain)
-		dispatchSeq int // total dispatches, names the env streams
-		pending     = make(map[int]*inflight)
-		buffer      []bufEntry
-		idle        = make(map[int]bool, n)
-		liveDevices = n
-		// staleness and participation stats since the last recorded point
-		staleSum   float64
-		staleMax   float64
-		staleN     int
-		evalFailed error
-	)
-	for id := range s.devices {
-		idle[id] = true
+	cs := d.conns[m.c]
+	switch {
+	case m.err != nil:
+		return d.failConn(cs)
+	case cs.dead:
+		// A message queued by a reader before its connection was evicted.
+		// It must not be delivered: after a re-admission the device may
+		// have a fresh in-flight dispatch, and the stale reply would
+		// alias it (decoding old bytes against the new dispatch's view).
+		return nil, nil
+	case m.env.TrainReply != nil:
+		reply := m.env.TrainReply
+		if _, ok := d.inflight[reply.Device]; !ok {
+			return nil, nil // an evicted worker's late reply: drop
+		}
+		delete(d.inflight, reply.Device)
+		if reply.Err != "" {
+			return nil, errors.New(reply.Err)
+		}
+		return s.coord.HandleReply(core.Reply{Device: reply.Device, Update: &reply.Update})
+	case m.env.EvalReply != nil:
+		// A late eval reply from a conn that timed out during a previous
+		// evaluation: drop it.
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("fednet: async coordinator received unexpected envelope %+v", m.env)
 	}
+}
 
-	failConn := func(cs *connState) {
+// admit processes a mid-run registration: the codec offer and the device
+// roster are validated (the coordinator refuses unknown devices,
+// still-live devices, and changed shard sizes without disturbing the
+// run), link state is reset on the coordinator's side, and the Welcome
+// ships the eval chain base so the worker's fresh endpoint decodes in
+// lockstep. A rejected worker gets a Welcome.Err and the run continues.
+func (d *asyncDriver) admit(reg regMsg) ([]core.Command, error) {
+	s := d.s
+	if msg := s.codecOfferError(reg.hello); msg != "" {
+		_ = reg.c.send(Envelope{Welcome: &Welcome{Err: msg}})
+		_ = reg.c.close()
+		return nil, nil
+	}
+	regs := make([]core.DeviceReg, 0, len(reg.hello.Devices))
+	ids := make([]int, 0, len(reg.hello.Devices))
+	for _, dev := range reg.hello.Devices {
+		regs = append(regs, core.DeviceReg{ID: dev.ID, TrainSize: dev.TrainSize})
+		ids = append(ids, dev.ID)
+	}
+	cmds, err := s.coord.RegisterWorker(regs)
+	if err != nil {
+		// Validation refusal (unknown device, still-live device, size
+		// mismatch): reject this worker, keep the run alive.
+		_ = reg.c.send(Envelope{Welcome: &Welcome{Err: err.Error()}})
+		_ = reg.c.close()
+		return nil, nil
+	}
+	welcome := &Welcome{Downlink: s.downSpec, Uplink: s.upSpec, EvalPrev: s.coord.EvalResyncState()}
+	if err := reg.c.send(Envelope{Welcome: welcome}); err != nil {
+		// Admitted but unreachable: evict again immediately.
+		_ = reg.c.close()
+		more, werr := s.coord.WorkerLost(ids)
+		if werr != nil {
+			return nil, fmt.Errorf("fednet: async %w", werr)
+		}
+		return append(cmds, more...), nil
+	}
+	cs := &connState{c: reg.c, devices: ids}
+	d.conns[reg.c] = cs
+	s.conns = append(s.conns, reg.c) // shutdownWorkers releases it at run end
+	for _, id := range ids {
+		s.devices[id].conn = reg.c
+	}
+	d.startReader(reg.c)
+	return cmds, nil
+}
+
+// evaluate runs one evaluation broadcast over the live conns, stashing
+// any train replies that arrive meanwhile for the aggregator to process
+// afterwards. Connections that fail mid-evaluation are evicted; their
+// device lists are returned for WorkerLost delivery.
+func (d *asyncDriver) evaluate(v core.Evaluate) (core.EvalResult, [][]int, error) {
+	s := d.s
+	var lost [][]int
+	fail := func(cs *connState) {
 		if cs.dead {
 			return
 		}
 		cs.dead = true
 		_ = cs.c.close()
 		for _, id := range cs.devices {
-			delete(idle, id)
-			if in, ok := pending[id]; ok {
-				// The dispatched epochs stay charged; whatever the dead
-				// worker computed is lost — waste.
-				acc.WastedEpochs += in.epochs
-				delete(pending, id)
-			}
-			liveDevices--
+			delete(d.inflight, id)
 		}
+		lost = append(lost, cs.devices)
 	}
 
-	hist := &core.History{Label: core.Label(cfg) + " [fednet]"}
-
-	// collectEvals runs one evaluation broadcast over the live conns,
-	// stashing any train replies that arrive meanwhile for the caller to
-	// process afterwards.
-	var stash []asyncMsg
-	record := func(milestone, participants int) error {
-		s.evalSeq++
-		seq := s.evalSeq
-		u, _, err := s.evalLink.Broadcast(w)
-		if err != nil {
-			return err
+	waiting := make(map[*conn]bool)
+	for _, cs := range d.conns {
+		if cs.dead {
+			continue
 		}
-		waiting := make(map[*conn]bool)
-		for _, cs := range conns {
-			if cs.dead {
-				continue
-			}
-			if err := cs.c.send(Envelope{EvalRequest: &EvalRequest{Seq: seq, Update: *u}}); err != nil {
-				failConn(cs)
-				continue
-			}
-			waiting[cs.c] = true
+		if err := cs.c.send(Envelope{EvalRequest: &EvalRequest{Seq: v.Seq, Update: *v.Update}}); err != nil {
+			fail(cs)
+			continue
 		}
-		if len(waiting) == 0 {
-			return errors.New("fednet: no live workers to evaluate on")
+		waiting[cs.c] = true
+	}
+	if len(waiting) == 0 {
+		return core.EvalResult{}, lost, errors.New("fednet: no live workers to evaluate on")
+	}
+	var all []DeviceEval
+	deadline := time.Now().Add(s.cfg.RequestTimeout)
+	for len(waiting) > 0 {
+		var timeout <-chan time.Time
+		if s.cfg.RequestTimeout > 0 {
+			timeout = time.After(time.Until(deadline))
 		}
-		if !legacyAccounting {
-			acc.EvalBytes += u.WireBytes()
-		}
-		var all []DeviceEval
-		deadline := time.Now().Add(s.cfg.RequestTimeout)
-		for len(waiting) > 0 {
-			var timeout <-chan time.Time
-			if s.cfg.RequestTimeout > 0 {
-				timeout = time.After(time.Until(deadline))
-			}
-			select {
-			case m := <-replyCh:
-				cs := conns[m.c]
-				switch {
-				case m.err != nil:
-					delete(waiting, m.c)
-					failConn(cs)
-				case m.env.EvalReply != nil:
-					delete(waiting, m.c)
-					if m.env.EvalReply.Err != "" {
-						return errors.New(m.env.EvalReply.Err)
-					}
-					if !cs.dead {
-						all = append(all, m.env.EvalReply.Devices...)
-					}
-				default:
-					stash = append(stash, m)
+		select {
+		case m := <-d.replyCh:
+			cs := d.conns[m.c]
+			switch {
+			case m.err != nil:
+				delete(waiting, m.c)
+				fail(cs)
+			case m.env.EvalReply != nil:
+				delete(waiting, m.c)
+				if m.env.EvalReply.Err != "" {
+					return core.EvalResult{}, lost, errors.New(m.env.EvalReply.Err)
 				}
-			case <-timeout:
-				for c := range waiting {
-					failConn(conns[c])
-					delete(waiting, c)
+				if !cs.dead {
+					all = append(all, m.env.EvalReply.Devices...)
 				}
+			default:
+				d.stash = append(d.stash, m)
 			}
-		}
-		if len(all) == 0 {
-			return errors.New("fednet: evaluation returned no device metrics")
-		}
-		loss, tacc := combineEvals(all, weights, true)
-		cost := acc
-		cost.WireUplinkBytes, cost.WireDownlinkBytes = s.BytesOnWire()
-		p := core.Point{
-			Round:          milestone,
-			TrainLoss:      loss,
-			TestAcc:        tacc,
-			GradVar:        math.NaN(),
-			B:              math.NaN(),
-			Mu:             cfg.Mu,
-			MeanGamma:      math.NaN(),
-			Participants:   participants,
-			MeanStaleness:  math.NaN(),
-			MaxStaleness:   math.NaN(),
-			VirtualSeconds: math.NaN(),
-			Cost:           cost,
-		}
-		if staleN > 0 {
-			p.MeanStaleness = staleSum / float64(staleN)
-			p.MaxStaleness = staleMax
-		}
-		hist.Points = append(hist.Points, p)
-		staleSum, staleMax, staleN = 0, 0, 0
-		return nil
-	}
-
-	// dispatch ships one TrainRequest to an idle device chosen by the
-	// environment streams (uniform or size-weighted, mirroring the sync
-	// sampling schemes over the currently idle set). The straggler stream
-	// draws partial epoch budgets — under asynchronous aggregation
-	// partial work is always folded, the paper's FedProx policy; there is
-	// no deadline to drop anyone at.
-	dispatch := func() error {
-		ids := make([]int, 0, len(idle))
-		for id := range idle {
-			ids = append(ids, id)
-		}
-		if len(ids) == 0 {
-			return nil
-		}
-		sort.Ints(ids)
-		rng := selRoot.SplitIndex(dispatchSeq)
-		var id int
-		if cfg.Sampling == core.WeightedSimpleAvg {
-			ws := make([]float64, len(ids))
-			for i, d := range ids {
-				ws[i] = weights[d]
+		case <-timeout:
+			for c := range waiting {
+				fail(d.conns[c])
+				delete(waiting, c)
 			}
-			id = ids[rng.WeightedChoice(ws, 1)[0]]
-		} else {
-			id = ids[rng.Intn(len(ids))]
-		}
-		epochs := cfg.LocalEpochs
-		if cfg.StragglerFraction > 0 {
-			srng := stragRoot.SplitIndex(dispatchSeq)
-			if srng.Bernoulli(cfg.StragglerFraction) {
-				epochs = srng.IntRange(1, cfg.LocalEpochs)
-			}
-		}
-		batchSeed := batchRoot.SplitIndex(dispatchSeq).SplitIndex(id).State()
-		dispatchSeq++
-
-		enc, dec, err := links.Link(id)
-		if err != nil {
-			return err
-		}
-		prev := links.Prev(id)
-		u := enc.Encode(w, prev)
-		view, err := enc.Decode(u, prev)
-		if err != nil {
-			return fmt.Errorf("fednet: async downlink device %d: %w", id, err)
-		}
-		links.SetPrev(id, view)
-
-		cs := conns[s.devices[id].conn]
-		req := TrainRequest{
-			Round:        folded / roundSize,
-			Version:      version,
-			Device:       id,
-			Update:       *u,
-			Epochs:       epochs,
-			Mu:           cfg.Mu,
-			LearningRate: cfg.LearningRate,
-			BatchSize:    cfg.BatchSize,
-			BatchSeed:    batchSeed,
-		}
-		if err := cs.c.send(Envelope{TrainRequest: &req}); err != nil {
-			failConn(cs)
-			return nil
-		}
-		acc.DownlinkBytes += u.WireBytes()
-		acc.DeviceEpochs += epochs
-		delete(idle, id)
-		pending[id] = &inflight{
-			device:  id,
-			version: version,
-			view:    view,
-			dec:     dec,
-			epochs:  epochs,
-			sentAt:  time.Now(),
-		}
-		return nil
-	}
-
-	// flush folds the buffered replies into the global model, FedBuff
-	// style: each device's delta is damped by its own staleness at flush
-	// time and the damped deltas are combined under the run's sampling
-	// scheme —
-	//
-	//	w ← w + Σ n_k·alpha_k·Δ_k / Σ n_k   (uniform sampling)
-	//	w ← w + Σ alpha_k·Δ_k / |B|         (weighted sampling)
-	//
-	// With fresh replies (s = 0, Alpha = 1, views = w) this reproduces
-	// the synchronous round update exactly; for flushSize 1 it is the
-	// delta form of the FedAsync fold, w ← w + alpha_k·Δ_k.
-	flush := func() {
-		num := make([]float64, len(w))
-		den := 0.0
-		for _, e := range buffer {
-			s := float64(version - e.snap)
-			a := async.Alpha / math.Pow(1+s, async.StalenessExponent)
-			staleSum += s
-			staleN++
-			if s > staleMax {
-				staleMax = s
-			}
-			cw := 1.0
-			if cfg.Sampling != core.WeightedSimpleAvg {
-				cw = e.nk
-			}
-			den += cw
-			for i, v := range e.delta {
-				num[i] += cw * a * v
-			}
-		}
-		if den > 0 {
-			for i := range w {
-				w[i] += num[i] / den
-			}
-			version++
-		}
-		buffer = buffer[:0]
-	}
-
-	handleTrainReply := func(m asyncMsg, reply *TrainReply) error {
-		in, ok := pending[reply.Device]
-		if !ok {
-			return nil // evicted conn's late reply routed elsewhere: drop
-		}
-		delete(pending, reply.Device)
-		if cs := conns[m.c]; !cs.dead {
-			idle[reply.Device] = true
-		}
-		if reply.Err != "" {
-			return errors.New(reply.Err)
-		}
-		wk, err := in.dec.Decode(&reply.Update, in.view)
-		if err != nil {
-			return fmt.Errorf("fednet: async uplink device %d: %w", reply.Device, err)
-		}
-		acc.UplinkBytes += reply.Update.WireBytes()
-		if folded >= target {
-			// Drain phase: the schedule is complete; late work is waste.
-			acc.WastedEpochs += in.epochs
-			return nil
-		}
-		delta := make([]float64, len(wk))
-		for i := range wk {
-			delta[i] = wk[i] - in.view[i]
-		}
-		buffer = append(buffer, bufEntry{delta: delta, nk: float64(s.devices[reply.Device].trainSize), snap: in.version})
-		folded++
-		if len(buffer) >= flushSize {
-			flush()
-		}
-		if folded%roundSize == 0 {
-			milestone := folded / roundSize
-			if milestone%cfg.EvalEvery == 0 || milestone == cfg.Rounds {
-				// A milestone always folds exactly roundSize replies —
-				// the async analogue of the sync per-round participant
-				// count.
-				if err := record(milestone, roundSize); err != nil {
-					evalFailed = err
-				}
-			}
-		}
-		return nil
-	}
-
-	if err := record(0, 0); err != nil {
-		return nil, err
-	}
-
-	for folded < target || len(pending) > 0 {
-		if evalFailed != nil {
-			return nil, evalFailed
-		}
-		if liveDevices == 0 {
-			return nil, errors.New("fednet: async aggregation lost every worker")
-		}
-		// Keep MaxInFlight devices busy while the schedule has work left.
-		for folded+len(pending) < target && len(pending) < async.MaxInFlight && len(idle) > 0 {
-			if err := dispatch(); err != nil {
-				return nil, err
-			}
-		}
-		if len(pending) == 0 {
-			if folded >= target {
-				break
-			}
-			continue // a conn just died; re-check liveness and re-dispatch
-		}
-
-		// Process any replies stashed during an evaluation wait first.
-		var m asyncMsg
-		if len(stash) > 0 {
-			m, stash = stash[0], stash[1:]
-		} else {
-			var timeout <-chan time.Time
-			if s.cfg.RequestTimeout > 0 {
-				earliest := time.Time{}
-				for _, in := range pending {
-					d := in.sentAt.Add(s.cfg.RequestTimeout)
-					if earliest.IsZero() || d.Before(earliest) {
-						earliest = d
-					}
-				}
-				timeout = time.After(time.Until(earliest))
-			}
-			select {
-			case m = <-replyCh:
-			case <-timeout:
-				now := time.Now()
-				for _, in := range pending {
-					if now.Sub(in.sentAt) >= s.cfg.RequestTimeout {
-						cs := conns[s.devices[in.device].conn]
-						failConn(cs)
-					}
-				}
-				continue
-			}
-		}
-
-		cs := conns[m.c]
-		switch {
-		case m.err != nil:
-			failConn(cs)
-		case m.env.TrainReply != nil:
-			if err := handleTrainReply(m, m.env.TrainReply); err != nil {
-				return nil, err
-			}
-		case m.env.EvalReply != nil:
-			// A late eval reply from a conn that timed out during a
-			// previous record call: drop it.
-		default:
-			return nil, fmt.Errorf("fednet: async coordinator received unexpected envelope %+v", m.env)
 		}
 	}
-	if evalFailed != nil {
-		return nil, evalFailed
+	if len(all) == 0 {
+		return core.EvalResult{}, lost, errors.New("fednet: evaluation returned no device metrics")
 	}
-	return hist, nil
+	loss, acc := combineEvals(all, s.weights, true)
+	res := core.EvalResult{Loss: loss, Acc: acc}
+	res.WireUplinkBytes, res.WireDownlinkBytes = s.BytesOnWire()
+	return res, lost, nil
 }

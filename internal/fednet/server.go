@@ -3,7 +3,6 @@ package fednet
 import (
 	"errors"
 	"fmt"
-	"math"
 	"net"
 	"slices"
 	"sort"
@@ -13,9 +12,7 @@ import (
 
 	"fedprox/internal/comm"
 	"fedprox/internal/core"
-	"fedprox/internal/frand"
 	"fedprox/internal/model"
-	"fedprox/internal/tensor"
 )
 
 // ServerConfig parameterizes a coordinator.
@@ -41,11 +38,18 @@ type ServerConfig struct {
 	RequestTimeout time.Duration
 }
 
-// Server is the federated coordinator: it owns the global model
-// parameters and the round schedule, and never sees training data.
+// Server is the federated coordinator's transport: it owns the worker
+// connections and the wire protocol, and never sees training data. All
+// protocol decisions — selection, straggler policies, aggregation and
+// the staleness-damped folds, accounting — happen in the shared
+// core.Coordinator; this package only translates its Dispatch/Evaluate
+// commands into TrainRequest/EvalRequest exchanges and feeds worker
+// replies, losses, and (re-)registrations back as events. Cross-executor
+// equivalence with the simulator therefore holds by construction.
 type Server struct {
-	mdl model.Model
-	cfg ServerConfig
+	mdl   model.Model
+	cfg   ServerConfig
+	coord *core.Coordinator
 
 	// downSpec/upSpec are the negotiated codec specs ("raw" when the
 	// training config carries no codec, so the wire always moves
@@ -57,14 +61,9 @@ type Server struct {
 	// connections.
 	bytesIn, bytesOut atomic.Int64
 
-	// evalLink is the coordinator's end of the shared evaluation
-	// broadcast: one chained codec stream every worker decodes.
-	evalLink *comm.EvalLink
-
-	mu      sync.Mutex
 	conns   []*conn
 	devices map[int]*device // device ID -> hosting connection + size
-	evalSeq int
+	weights []float64       // p_k, for combining distributed evaluations
 }
 
 type device struct {
@@ -92,27 +91,33 @@ func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
 	if cfg.Training.Checkpointer != nil {
 		return nil, errors.New("fednet: checkpointing is simulator-only")
 	}
+	if cfg.Training.VTime.Enabled() {
+		// The deadline/byte-budget policies are clock-native: they need
+		// the virtual engine's reply latencies, which a real transport
+		// does not have. Reject rather than half-apply them.
+		return nil, errors.New("fednet: virtual-time models are simulator-only")
+	}
 	if cfg.ExpectDevices <= 0 {
 		return nil, errors.New("fednet: ExpectDevices must be positive")
 	}
-	down, up := cfg.Training.CommSpecs()
-	if !up.Enabled() {
+	coord, err := core.NewCoordinator(mdl, cfg.Training, core.CoordinatorOptions{
+		NumDevices: cfg.ExpectDevices,
 		// The wire protocol always carries encoded updates; no codec
 		// means raw, which reproduces the uncompressed trajectory bit
 		// for bit.
-		raw := core.Config{Codec: comm.Spec{Name: "raw"}, Seed: cfg.Training.Seed}
-		down, up = raw.CommSpecs()
-	}
-	evalLink, err := comm.NewEvalLink(down)
+		WireEncoded: true,
+		LabelSuffix: " [fednet]",
+	})
 	if err != nil {
 		return nil, err
 	}
+	down, up := coord.CommSpecs()
 	return &Server{
 		mdl:      mdl,
 		cfg:      cfg,
+		coord:    coord,
 		downSpec: down,
 		upSpec:   up,
-		evalLink: evalLink,
 		devices:  make(map[int]*device),
 	}, nil
 }
@@ -140,20 +145,23 @@ func (s *Server) Run(addr string) (*core.History, error) {
 // ephemeral loopback listener). Workers that registered are always shut
 // down, including when registration itself fails partway (e.g. a
 // later-connecting worker refuses the codec) — otherwise the
-// already-welcomed workers would block in recv forever.
+// already-welcomed workers would block in recv forever. Asynchronous
+// runs keep accepting on the listener for the whole run, so an evicted
+// worker can reconnect and be re-admitted, and close it when done.
 func (s *Server) RunWithListener(ln net.Listener) (*core.History, error) {
 	defer s.shutdownWorkers()
 	if err := s.acceptAll(ln); err != nil {
 		return nil, err
 	}
+	s.weights = s.deviceWeights()
 	if s.cfg.Training.Async.Enabled() {
-		return s.trainAsync()
+		return s.trainAsync(ln)
 	}
 	return s.train()
 }
 
 // acceptAll accepts worker connections until every expected device has
-// registered.
+// registered, feeding each registration to the coordinator.
 func (s *Server) acceptAll(ln net.Listener) error {
 	registered := 0
 	for registered < s.cfg.ExpectDevices {
@@ -161,11 +169,7 @@ func (s *Server) acceptAll(ln net.Listener) error {
 		if err != nil {
 			return fmt.Errorf("fednet: accept: %w", err)
 		}
-		c := newConn(meteredConn{Conn: raw, read: &s.bytesIn, written: &s.bytesOut})
-		// RequestTimeout bounds sends as well as reply waits: a worker
-		// that stops reading must surface as a send error, not block the
-		// coordinator in gob Encode with its TCP buffers full.
-		c.sendTimeout = s.cfg.RequestTimeout
+		c := s.newMeteredConn(raw)
 		env, err := c.recv()
 		if err != nil {
 			return err
@@ -174,37 +178,78 @@ func (s *Server) acceptAll(ln net.Listener) error {
 			return fmt.Errorf("fednet: expected Hello, got %+v", env)
 		}
 		s.conns = append(s.conns, c)
-		// Codec negotiation: the worker must offer both directions'
-		// codecs; an empty offer means raw only.
-		offered := env.Hello.Codecs
-		if len(offered) == 0 {
-			offered = []string{"raw"}
-		}
-		for _, want := range []string{s.downSpec.Name, s.upSpec.Name} {
-			if !slices.Contains(offered, want) {
-				msg := fmt.Sprintf("fednet: coordinator requires codec %q, worker offers %v", want, offered)
-				_ = c.send(Envelope{Welcome: &Welcome{Err: msg}})
-				return errors.New(msg)
-			}
+		if err := s.checkCodecOffer(c, env.Hello); err != nil {
+			return err
 		}
 		if err := c.send(Envelope{Welcome: &Welcome{Downlink: s.downSpec, Uplink: s.upSpec}}); err != nil {
 			return err
 		}
+		regs := make([]core.DeviceReg, 0, len(env.Hello.Devices))
 		for _, d := range env.Hello.Devices {
-			if d.ID < 0 || d.ID >= s.cfg.ExpectDevices {
-				return fmt.Errorf("fednet: device ID %d outside [0,%d)", d.ID, s.cfg.ExpectDevices)
-			}
-			if _, dup := s.devices[d.ID]; dup {
-				return fmt.Errorf("fednet: device %d registered twice", d.ID)
-			}
-			if d.TrainSize <= 0 {
-				return fmt.Errorf("fednet: device %d has no training data", d.ID)
-			}
+			regs = append(regs, core.DeviceReg{ID: d.ID, TrainSize: d.TrainSize})
+		}
+		if _, err := s.coord.RegisterWorker(regs); err != nil {
+			return fmt.Errorf("fednet: %w", err)
+		}
+		for _, d := range env.Hello.Devices {
 			s.devices[d.ID] = &device{conn: c, trainSize: d.TrainSize}
 			registered++
 		}
 	}
 	return nil
+}
+
+// newMeteredConn wraps an accepted connection with byte metering and the
+// send timeout: a worker that stops reading must surface as a send
+// error, not block the coordinator in gob Encode with its TCP buffers
+// full.
+func (s *Server) newMeteredConn(raw net.Conn) *conn {
+	c := newConn(meteredConn{Conn: raw, read: &s.bytesIn, written: &s.bytesOut})
+	c.sendTimeout = s.cfg.RequestTimeout
+	return c
+}
+
+// codecOfferError is the single codec-negotiation rule: the worker must
+// offer both directions' codecs (an empty offer means raw only). It
+// returns the rejection message, or "" when the offer is acceptable —
+// callers decide whether a rejection is fatal (initial registration) or
+// survivable (mid-run re-admission).
+func (s *Server) codecOfferError(hello *Hello) string {
+	offered := hello.Codecs
+	if len(offered) == 0 {
+		offered = []string{"raw"}
+	}
+	for _, want := range []string{s.downSpec.Name, s.upSpec.Name} {
+		if !slices.Contains(offered, want) {
+			return fmt.Sprintf("fednet: coordinator requires codec %q, worker offers %v", want, offered)
+		}
+	}
+	return ""
+}
+
+// checkCodecOffer enforces codecOfferError fatally, telling the worker
+// why before failing the registration.
+func (s *Server) checkCodecOffer(c *conn, hello *Hello) error {
+	if msg := s.codecOfferError(hello); msg != "" {
+		_ = c.send(Envelope{Welcome: &Welcome{Err: msg}})
+		return errors.New(msg)
+	}
+	return nil
+}
+
+// deviceWeights returns p_k = n_k/n over the registered devices, the
+// combination weights for distributed evaluation.
+func (s *Server) deviceWeights() []float64 {
+	weights := make([]float64, s.cfg.ExpectDevices)
+	total := 0
+	for id, d := range s.devices {
+		weights[id] = float64(d.trainSize)
+		total += d.trainSize
+	}
+	for i := range weights {
+		weights[i] /= float64(total)
+	}
+	return weights
 }
 
 func (s *Server) shutdownWorkers() {
@@ -214,225 +259,114 @@ func (s *Server) shutdownWorkers() {
 	}
 }
 
-// train runs the round schedule. The environment streams replicate
-// internal/core.Env exactly so trajectories match the simulator.
+// train drives the coordinator's synchronous schedule: each batch of
+// Dispatch commands becomes one round of concurrent TrainRequest
+// round-trips, and Evaluate commands become distributed evaluation
+// broadcasts. Any worker failure fails the run — the synchronous
+// protocol cannot continue without its devices.
 func (s *Server) train() (*core.History, error) {
-	cfg := s.cfg.Training
-	if cfg.EvalEvery <= 0 {
-		cfg.EvalEvery = 1
-	}
-	n := s.cfg.ExpectDevices
-	root := frand.New(cfg.Seed)
-	selRoot := root.Split("selection")
-	stragRoot := root.Split("stragglers")
-	batchRoot := root.Split("batches")
-	initRng := root.Split("init").Split("params")
-
-	weights := make([]float64, n)
-	total := 0
-	for id, d := range s.devices {
-		weights[id] = float64(d.trainSize)
-		total += d.trainSize
-	}
-	for i := range weights {
-		weights[i] /= float64(total)
-	}
-
-	w := s.mdl.InitParams(initRng)
-
-	// Per-device codec state, the coordinator's half of every link: the
-	// downlink encoders with shadows of the last decoded broadcast (what
-	// each worker holds) plus decoders for uplink replies.
-	links, err := comm.NewLinkState(s.downSpec, s.upSpec)
+	cmds, err := s.coord.Start()
 	if err != nil {
 		return nil, err
 	}
-	// Without a configured codec the wire still moves raw comm.Updates,
-	// but the recorded Cost keeps the simulator's historical semantics:
-	// every selected device is charged a full-model download and its
-	// epoch budget, dropped stragglers' epochs count as waste.
-	legacyAccounting := !cfg.Codec.Enabled()
-	paramBytes := int64(s.mdl.NumParams() * 8)
-	var acc core.Cost // cumulative analytic accounting
-
-	hist := &core.History{Label: core.Label(cfg) + " [fednet]"}
-	record := func(round int, mu float64, participants int) error {
-		loss, tacc, evalBytes, err := s.evaluate(w, weights, false)
-		if err != nil {
-			return err
-		}
-		// Analytic eval accounting exists only under the explicit codec
-		// link model, mirroring the simulator (legacy accounting predates
-		// eval encoding).
-		if !legacyAccounting {
-			acc.EvalBytes += evalBytes
-		}
-		cost := acc
-		cost.WireUplinkBytes, cost.WireDownlinkBytes = s.BytesOnWire()
-		hist.Points = append(hist.Points, core.Point{
-			Round:          round,
-			TrainLoss:      loss,
-			TestAcc:        tacc,
-			GradVar:        math.NaN(),
-			B:              math.NaN(),
-			Mu:             mu,
-			MeanGamma:      math.NaN(),
-			Participants:   participants,
-			MeanStaleness:  math.NaN(),
-			MaxStaleness:   math.NaN(),
-			VirtualSeconds: math.NaN(),
-			Cost:           cost,
-		})
-		return nil
-	}
-	if err := record(0, cfg.Mu, 0); err != nil {
-		return nil, err
-	}
-
-	k := cfg.ClientsPerRound
-	if k > n {
-		k = n
-	}
-	for t := 0; t < cfg.Rounds; t++ {
-		// Selection mirrors core.Env.SelectDevices.
-		rng := selRoot.SplitIndex(t)
-		var selected []int
-		if cfg.Sampling == core.WeightedSimpleAvg {
-			selected = rng.WeightedChoice(weights, k)
-		} else {
-			selected = rng.Choice(n, k)
-		}
-		// Straggler plan mirrors core.Env.StragglerPlan.
-		epochs := make([]int, len(selected))
-		straggler := make([]bool, len(selected))
-		for i := range epochs {
-			epochs[i] = cfg.LocalEpochs
-		}
-		if nStrag := int(cfg.StragglerFraction*float64(len(selected)) + 0.5); nStrag > 0 {
-			srng := stragRoot.SplitIndex(t)
-			for _, i := range srng.Choice(len(selected), nStrag) {
-				straggler[i] = true
-				epochs[i] = srng.IntRange(1, cfg.LocalEpochs)
-			}
-		}
-
-		// Broadcast phase, sequential: encoding advances per-device link
-		// state (rounding streams, residuals, broadcast shadows), exactly
-		// as the simulator does before its parallel solves.
-		updates := make([]*comm.Update, len(selected))
-		views := make([][]float64, len(selected))
-		upDec := make([]comm.Codec, len(selected))
-		for i, id := range selected {
-			if cfg.Straggler == core.DropStragglers && straggler[i] {
-				if legacyAccounting {
-					acc.DownlinkBytes += paramBytes
-					acc.DeviceEpochs += epochs[i]
-					acc.WastedEpochs += epochs[i]
+	for {
+		var dispatches []core.Dispatch
+		var next []core.Command
+		for _, cmd := range cmds {
+			switch v := cmd.(type) {
+			case core.Dispatch:
+				dispatches = append(dispatches, v)
+			case core.Evaluate:
+				// The synchronous path never renormalizes: all devices
+				// report or the run fails, and dividing by the full weight
+				// sum would perturb the bit-reproducible trajectory.
+				res, err := s.evaluate(v, false)
+				if err != nil {
+					return nil, err
 				}
-				continue // never contacted
+				more, err := s.coord.EvalDone(res)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, more...)
+			case core.Done:
+				return s.coord.History(), nil
+			default:
+				// Checkpoint/ObserveLoss/AdvanceClock are never emitted
+				// for fednet configurations (rejected by NewServer).
 			}
-			enc, dec, err := links.Link(id)
+		}
+		if len(dispatches) > 0 {
+			replies, err := s.roundTripAll(dispatches)
 			if err != nil {
 				return nil, err
 			}
-			prev := links.Prev(id)
-			u := enc.Encode(w, prev)
-			view, err := enc.Decode(u, prev)
-			if err != nil {
-				return nil, fmt.Errorf("fednet: round %d device %d downlink: %w", t, id, err)
-			}
-			links.SetPrev(id, view)
-			updates[i] = u
-			views[i] = view
-			upDec[i] = dec
-			acc.DownlinkBytes += u.WireBytes()
-			acc.DeviceEpochs += epochs[i]
-		}
-
-		type result struct {
-			id      int
-			params  []float64
-			nk      float64
-			upBytes int64
-			err     error
-		}
-		results := make([]result, len(selected))
-		var wg sync.WaitGroup
-		batchRound := batchRoot.SplitIndex(t)
-		for i, id := range selected {
-			if cfg.Straggler == core.DropStragglers && straggler[i] {
-				results[i] = result{id: -1}
-				continue
-			}
-			wg.Add(1)
-			go func(i, id, ep int) {
-				defer wg.Done()
-				d := s.devices[id]
-				req := TrainRequest{
-					Round:        t,
-					Version:      t, // sync: one model version per round
-					Device:       id,
-					Update:       *updates[i],
-					Epochs:       ep,
-					Mu:           cfg.Mu,
-					LearningRate: cfg.LearningRate,
-					BatchSize:    cfg.BatchSize,
-					BatchSeed:    batchRound.SplitIndex(id).State(),
-				}
-				env, err := s.roundTrip(d.conn, Envelope{TrainRequest: &req})
+			for _, r := range replies {
+				more, err := s.coord.HandleReply(r)
 				if err != nil {
-					results[i] = result{id: id, err: err}
-					return
+					return nil, err
 				}
-				reply := env.TrainReply
-				if reply == nil {
-					results[i] = result{id: id, err: fmt.Errorf("fednet: expected TrainReply, got %+v", env)}
-					return
-				}
-				if reply.Err != "" {
-					results[i] = result{id: id, err: errors.New(reply.Err)}
-					return
-				}
-				// Decode the uplink against the broadcast view the device
-				// trained from — both sides hold it exactly. Decoding is
-				// stateless, so doing it in-goroutine is safe.
-				wk, err := upDec[i].Decode(&reply.Update, views[i])
-				if err != nil {
-					results[i] = result{id: id, err: err}
-					return
-				}
-				results[i] = result{id: id, params: wk, nk: float64(d.trainSize), upBytes: reply.Update.WireBytes()}
-			}(i, id, epochs[i])
-		}
-		wg.Wait()
-
-		var params [][]float64
-		var nks []float64
-		for _, r := range results {
-			if r.id == -1 {
-				continue
+				next = append(next, more...)
 			}
-			if r.err != nil {
-				return nil, fmt.Errorf("fednet: round %d device %d: %w", t, r.id, r.err)
-			}
-			acc.UplinkBytes += r.upBytes
-			params = append(params, r.params)
-			nks = append(nks, r.nk)
+		} else if len(next) == 0 {
+			return nil, errors.New("fednet: coordinator stalled with no commands")
 		}
-		if len(params) > 0 {
-			if cfg.Sampling == core.WeightedSimpleAvg {
-				tensor.Mean(w, params)
-			} else {
-				tensor.WeightedMean(w, params, nks)
-			}
-		}
-		if (t+1)%cfg.EvalEvery == 0 || t == cfg.Rounds-1 {
-			if err := record(t+1, cfg.Mu, len(params)); err != nil {
-				return nil, err
-			}
-		}
+		cmds = next
 	}
-	return hist, nil
+}
+
+// roundTripAll executes one round's dispatches concurrently (one
+// goroutine per device, serialized per shared connection by the conn's
+// round-trip lock) and returns the replies in dispatch order.
+func (s *Server) roundTripAll(dispatches []core.Dispatch) ([]core.Reply, error) {
+	type result struct {
+		reply core.Reply
+		err   error
+	}
+	results := make([]result, len(dispatches))
+	var wg sync.WaitGroup
+	for i, d := range dispatches {
+		wg.Add(1)
+		go func(i int, d core.Dispatch) {
+			defer wg.Done()
+			dev := s.devices[d.Device]
+			req := TrainRequest{
+				Round:        d.Round,
+				Version:      d.Version,
+				Device:       d.Device,
+				Update:       *d.Update,
+				Epochs:       d.Epochs,
+				Mu:           d.Mu,
+				LearningRate: d.LearningRate,
+				BatchSize:    d.BatchSize,
+				BatchSeed:    d.BatchSeed,
+			}
+			env, err := s.roundTrip(dev.conn, Envelope{TrainRequest: &req})
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			reply := env.TrainReply
+			if reply == nil {
+				results[i] = result{err: fmt.Errorf("fednet: expected TrainReply, got %+v", env)}
+				return
+			}
+			if reply.Err != "" {
+				results[i] = result{err: errors.New(reply.Err)}
+				return
+			}
+			results[i] = result{reply: core.Reply{Device: d.Device, Update: &reply.Update}}
+		}(i, d)
+	}
+	wg.Wait()
+	replies := make([]core.Reply, 0, len(dispatches))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("fednet: round %d device %d: %w", dispatches[i].Round, dispatches[i].Device, r.err)
+		}
+		replies = append(replies, r.reply)
+	}
+	return replies, nil
 }
 
 // roundTrip serializes one request/response exchange on a connection.
@@ -455,23 +389,14 @@ func (s *Server) roundTrip(c *conn, e Envelope) (Envelope, error) {
 	return c.recv()
 }
 
-// evaluate gathers distributed metrics and combines them exactly as
-// internal/metrics does (ascending-device weighted sum), so losses match
-// the simulator bit for bit. The global model travels encoded on the
-// shared eval link; evalBytes is the encoded broadcast size (charged
-// once — broadcast semantics). With renormalize set, the per-device
-// weights are rescaled by the reporting mass, which keeps the metrics
-// meaningful when the asynchronous modes lose workers mid-run; the
-// synchronous path never renormalizes (all devices report or the run
-// fails, and dividing by the full weight sum would perturb the
-// bit-reproducible trajectory).
-func (s *Server) evaluate(w []float64, weights []float64, renormalize bool) (loss, acc float64, evalBytes int64, err error) {
-	s.evalSeq++
-	seq := s.evalSeq
-	u, _, err := s.evalLink.Broadcast(w)
-	if err != nil {
-		return 0, 0, 0, err
-	}
+// evaluate gathers distributed metrics for one Evaluate command and
+// combines them exactly as internal/metrics does (ascending-device
+// weighted sum), so losses match the simulator bit for bit. The global
+// model travels encoded on the shared eval link. With renormalize set,
+// the per-device weights are rescaled by the reporting mass, which keeps
+// the metrics meaningful when the asynchronous modes lose workers
+// mid-run.
+func (s *Server) evaluate(v core.Evaluate, renormalize bool) (core.EvalResult, error) {
 	type shardEval struct {
 		evals []DeviceEval
 		err   error
@@ -482,7 +407,7 @@ func (s *Server) evaluate(w []float64, weights []float64, renormalize bool) (los
 		wg.Add(1)
 		go func(i int, c *conn) {
 			defer wg.Done()
-			env, err := s.roundTrip(c, Envelope{EvalRequest: &EvalRequest{Seq: seq, Update: *u}})
+			env, err := s.roundTrip(c, Envelope{EvalRequest: &EvalRequest{Seq: v.Seq, Update: *v.Update}})
 			if err != nil {
 				out[i] = shardEval{err: err}
 				return
@@ -503,12 +428,14 @@ func (s *Server) evaluate(w []float64, weights []float64, renormalize bool) (los
 	var all []DeviceEval
 	for _, o := range out {
 		if o.err != nil {
-			return 0, 0, 0, o.err
+			return core.EvalResult{}, o.err
 		}
 		all = append(all, o.evals...)
 	}
-	loss, acc = combineEvals(all, weights, renormalize)
-	return loss, acc, u.WireBytes(), nil
+	loss, acc := combineEvals(all, s.weights, renormalize)
+	res := core.EvalResult{Loss: loss, Acc: acc}
+	res.WireUplinkBytes, res.WireDownlinkBytes = s.BytesOnWire()
+	return res, nil
 }
 
 // combineEvals folds per-device metric contributions into the global

@@ -14,9 +14,10 @@
 // combines them, so the server never touches data.
 //
 // The environment streams (selection, stragglers, batch order, init)
-// mirror internal/core exactly, so a fednet run with the same seed and
-// configuration reproduces the simulator's trajectory bit for bit — the
-// equivalence test in server_test.go asserts this.
+// come from the shared core.Coordinator — this package is a transport
+// driver, not a protocol implementation — so a fednet run with the same
+// seed and configuration reproduces the simulator's trajectory bit for
+// bit by construction (asserted in fednet_test.go).
 //
 // Aggregation disciplines: under the default synchronous protocol the
 // coordinator keeps at most one exchange outstanding per connection
@@ -66,6 +67,12 @@ type Welcome struct {
 	// coordinator's and the simulator's.
 	Downlink comm.Spec
 	Uplink   comm.Spec
+	// EvalPrev, when non-nil, is the shared evaluation link's current
+	// chain base. A worker re-admitted mid-run (asynchronous deployments
+	// accept reconnects) seeds its eval link with it so the next chained
+	// eval broadcast decodes in lockstep; workers joining at round 0
+	// receive nil.
+	EvalPrev []float64
 	// Err, when non-empty, aborts the session (e.g. codec not offered).
 	Err string
 }

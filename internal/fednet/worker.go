@@ -118,6 +118,10 @@ func (w *Worker) Serve(c *conn) error {
 	if err != nil {
 		return err
 	}
+	// A re-admission Welcome carries the eval chain's current base so
+	// this worker decodes the next broadcast in lockstep with the
+	// evaluators that never left.
+	w.evalLink.SeedPrev(welcome.EvalPrev)
 	// Each TrainRequest is served in its own goroutine so an
 	// asynchronous coordinator can pipeline work for several hosted
 	// devices over one connection (it never has more than one request
