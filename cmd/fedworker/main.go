@@ -13,10 +13,12 @@ import (
 	"strings"
 
 	"fedprox/internal/comm"
+	"fedprox/internal/core"
 	"fedprox/internal/data"
 	"fedprox/internal/data/datafile"
 	"fedprox/internal/experiments"
 	"fedprox/internal/fednet"
+	"fedprox/internal/privacy"
 	"fedprox/internal/solver"
 )
 
@@ -30,6 +32,9 @@ func main() {
 		index    = flag.Int("index", 0, "this worker's index in [0, workers)")
 		local    = flag.String("solver", "sgd", "local solver: sgd, momentum, adagrad, adam, gd")
 		codec    = flag.String("codec", "", "restrict the offered update codecs to this comma-separated list (default: all of "+strings.Join(comm.Names(), ", ")+")")
+		privClip = flag.Float64("privacy-clip", 0, "update-level DP: L2 clip bound on each local update delta (0 disables clipping)")
+		privStd  = flag.Float64("privacy-noise", 0, "update-level DP: Gaussian noise std added per coordinate of the delta (0 disables noise)")
+		privSeed = flag.Uint64("privacy-seed", 0, "seed of the DP noise streams (with -privacy-noise)")
 	)
 	flag.Parse()
 	if *index < 0 || *index >= *workers {
@@ -62,9 +67,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	devOpts := core.DeviceOptions{Solver: ls}
+	if *privClip > 0 || *privStd > 0 {
+		// Update-level DP is device-side state: the mechanism clips and
+		// noises each local solution before the uplink encode, so the
+		// server never sees a raw update.
+		devOpts.Privacy = &privacy.Mechanism{ClipNorm: *privClip, NoiseStd: *privStd, Seed: *privSeed}
+		if err := devOpts.Privacy.Validate(); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Printf("fedworker %d/%d: hosting %d devices of %s, solver %s\n",
 		*index, *workers, len(shards), fed.Name, ls.Name())
-	wk := fednet.NewWorker(w.Model, shards, ls)
+	wk := fednet.NewWorkerWithOptions(w.Model, shards, devOpts)
 	if *codec != "" {
 		for _, name := range strings.Split(*codec, ",") {
 			if name = strings.TrimSpace(name); name != "" {

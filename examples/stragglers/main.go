@@ -23,6 +23,7 @@ import (
 	"fedprox/internal/core"
 	"fedprox/internal/data/mnistsim"
 	"fedprox/internal/model/linear"
+	"fedprox/internal/syshet"
 	"fedprox/internal/vtime"
 )
 
@@ -58,6 +59,26 @@ func main() {
 		}
 		fmt.Printf("%9.0f%% %22.4f %22.4f\n", frac*100, losses[0], losses[1])
 	}
+	// Variable local work: instead of designating stragglers, give every
+	// device a compute budget (a tiered hardware fleet) enforced by the
+	// DEVICE runtime — the server can't drop what it doesn't know, so the
+	// only policy is FedProx's: aggregate the partial solutions. The row
+	// reports the realized work next to the loss.
+	budgeted := base(core.AggregatePartial, 0)
+	budgeted.Mu = 1
+	budgeted.DeviceBudget = syshet.NewFleet(syshet.Config{
+		Deadline:  syshet.DeadlineFor(10, fed.Shards[0].NumSamples(), 10, 10),
+		JitterStd: 0.3,
+		BatchSize: 10,
+		Seed:      21,
+	}, fed.TrainSizes())
+	hist, err := core.Run(mdl, fed, budgeted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fin := hist.Final()
+	fmt.Printf("%10s %22s %22.4f   (devices ran %.1f of %d epochs, %.0f%% partial)\n",
+		"budgeted", "-", fin.TrainLoss, fin.MeanEpochsDone, budgeted.LocalEpochs, 100*fin.PartialFraction)
 	fmt.Println("\nlower is better; the gap should widen with the straggler fraction")
 
 	// Virtual-time sweep: the same network with a 10x-slow 10% device

@@ -172,6 +172,24 @@ type Config struct {
 	// its budget falls short of LocalEpochs. StragglerFraction is ignored
 	// when set.
 	Capability CapabilityModel
+	// DeviceBudget, when non-nil, models device-side variable local work
+	// — the paper's partial-solution axis. Each Dispatch carries the
+	// budget's epoch allowance for its (round-or-sequence, device) pair,
+	// clamped to [1, Epochs]; the device runtime truncates its solve to
+	// it and reports the realized work in Reply.EpochsDone, which the
+	// coordinator charges instead of the dispatched target and records
+	// in the Point.MeanEpochsDone / PartialFraction columns.
+	//
+	// Unlike Capability — which re-plans the round's epoch targets
+	// server-side and lets DropStragglers discard the short devices —
+	// the budget is enforced by the device: the server only learns the
+	// realized work after the fact, so partial solutions must be
+	// aggregated (or wasted), never pre-dropped. It applies to every
+	// executor (sync, virtual-time async, fednet: the budget rides the
+	// wire as TrainRequest.EpochBudget) and composes with Capability,
+	// codecs, and the clock policies. syshet.Fleet implements the
+	// interface.
+	DeviceBudget CapabilityModel
 	// Async selects the coordinator's aggregation discipline. The zero
 	// value is the paper's synchronous round protocol. AsyncTotal and
 	// Buffered are executed by the fednet runtime against the real

@@ -84,14 +84,24 @@ type Dispatch struct {
 	Version int
 	// Device is the target device.
 	Device int
-	// Epochs is the device's epoch budget.
+	// Epochs is the device's epoch target for this dispatch.
 	Epochs int
+	// EpochBudget is the device-side compute budget in epochs (0 =
+	// unlimited): the device truncates its solve to min(Epochs,
+	// EpochBudget) and reports the realized work in Reply.EpochsDone.
+	// Drawn from Config.DeviceBudget — the variable-local-work axis,
+	// enforced by the device runtime, never re-planned by the server.
+	EpochBudget int
 	// Mu, LearningRate, BatchSize parameterize the local subproblem.
 	Mu           float64
 	LearningRate float64
 	BatchSize    int
 	// BatchSeed is the state of the device's mini-batch order stream.
 	BatchSeed uint64
+	// PrivacyTag seeds the device's privacy noise stream for this
+	// dispatch: the round (synchronous) or the dispatch sequence
+	// (asynchronous).
+	PrivacyTag int
 	// Update is the encoded broadcast (nil when the run has no wire
 	// encoding — the plain in-process simulator).
 	Update *comm.Update
@@ -155,13 +165,18 @@ type Done struct{}
 func (Done) isCommand() {}
 
 // Reply delivers one device's training result to the coordinator.
-// Exactly one of Update (encoded uplink, wire drivers) or Params (raw
-// local solution, the plain in-process driver) is set — in-process
-// drivers with codecs produce Update via EncodeUplink.
+// Exactly one of Update (encoded uplink, wire runtimes) or Params (raw
+// local solution, in-process runtimes without links) is set — both are
+// produced by core.Device.HandleDispatch.
 type Reply struct {
 	Device int
 	Update *comm.Update
 	Params []float64
+	// EpochsDone is the local epochs the device actually ran — less than
+	// the dispatched target when a device-side budget truncated the
+	// solve. Only read when Config.DeviceBudget is configured; the
+	// accounting otherwise charges the dispatched epochs unchanged.
+	EpochsDone int
 	// Gamma is the device's achieved γ-inexactness (only read under
 	// Config.TrackGamma).
 	Gamma float64
@@ -223,6 +238,26 @@ type foldStats struct {
 	n   int
 }
 
+// workStats accumulates realized-local-work statistics across the
+// updates aggregated between evaluated points (only maintained when
+// Config.DeviceBudget is set). Fields are exported because the struct
+// rides the gob checkpoint envelope: a checkpoint between evaluations
+// must carry the partially accumulated counters for exact resume
+// equivalence.
+type workStats struct {
+	Done    int // epochs actually run
+	Partial int // updates truncated below their dispatched target
+	N       int
+}
+
+func (w *workStats) add(done, target int) {
+	w.Done += done
+	if done < target {
+		w.Partial++
+	}
+	w.N++
+}
+
 func foldStaleDeltas(w []float64, batch []StaleDelta, version int, sampling SamplingScheme, alpha, p float64, st *foldStats) bool {
 	num := make([]float64, len(w))
 	den := 0.0
@@ -257,14 +292,20 @@ func foldStaleDeltas(w []float64, batch []StaleDelta, version int, sampling Samp
 // pendingDispatch is the coordinator's record of one outstanding
 // Dispatch.
 type pendingDispatch struct {
-	device    int
-	seq       int // async dispatch sequence
-	index     int // sync: position within the round's selection
-	epochs    int
+	device int
+	seq    int // async dispatch sequence
+	index  int // sync: position within the round's selection
+	epochs int // the dispatched epoch target
+	// expected is the work the device will actually perform:
+	// min(epochs, EpochBudget) when a device-side budget rode the
+	// dispatch, epochs otherwise. Charges (DispatchSent, WorkerLost
+	// waste) and the realized-work clamp use it so a dispatch that never
+	// returns is still billed what the device could have run, matching
+	// the sync path's budget-clamped counterfactual.
+	expected  int
 	version   int
 	view      []float64 // the decoded broadcast view (uplink decode base)
 	downBytes int64
-	privTag   int     // privacy round tag: round (sync) or seq (async)
 	sentAt    float64 // clock at dispatch (async arrival accounting)
 	charged   bool    // async: DispatchSent confirmed the transfer
 }
@@ -274,6 +315,7 @@ type pendingDispatch struct {
 type syncReply struct {
 	wk      []float64
 	nk      float64
+	done    int // realized local epochs (== dispatched without a budget)
 	gamma   float64
 	upBytes int64
 	seq     int
@@ -307,8 +349,9 @@ type evalPending struct {
 // with NewCoordinator, register every device with RegisterWorker, then
 // call Start and execute the returned commands, feeding events back until
 // Done. Coordinator is not safe for concurrent use: drivers serialize
-// event delivery (EncodeUplink alone may be called concurrently for
-// distinct devices during a solve phase).
+// event delivery. The device half of the protocol — downlink decode,
+// local solve, privacy, uplink encode — lives in core.Device; the
+// coordinator only encodes broadcasts and decodes replies.
 type Coordinator struct {
 	cfg   Config
 	async AsyncConfig
@@ -337,8 +380,16 @@ type Coordinator struct {
 	links *commLinks
 	muc   *muController
 
+	// dev is the in-process device runtime bound for checkpointing: its
+	// codec link state (downlink chains, uplink rounding streams and
+	// residuals, the eval receive chain) is part of the resumable state.
+	// Wire deployments have no access to device state and reject
+	// checkpointing instead.
+	dev *Device
+
 	hist *History
 	cost Cost
+	work workStats
 	now  float64 // virtual clock mirror; NaN until the driver Ticks
 
 	evalSeq int
@@ -416,6 +467,11 @@ func (c *Coordinator) CommSpecs() (down, up comm.Spec) {
 	}
 	return down, up
 }
+
+// BindDevice attaches the in-process device runtime so checkpoints also
+// capture the device half of the codec link state. In-process drivers
+// call it before Start (the checkpoint load happens there).
+func (c *Coordinator) BindDevice(d *Device) { c.dev = d }
 
 // History returns the run's trajectory (final once Done was emitted).
 func (c *Coordinator) History() *History { return c.hist }
@@ -576,6 +632,13 @@ func (c *Coordinator) startSync() ([]Command, error) {
 					c.hist.Points[i].MeanStaleness = math.NaN()
 					c.hist.Points[i].MaxStaleness = math.NaN()
 					c.hist.Points[i].VirtualSeconds = math.NaN()
+					if c.cfg.DeviceBudget == nil {
+						// Same defence for the work columns — but only
+						// when untracked: a budget run's checkpoints
+						// carry real values.
+						c.hist.Points[i].MeanEpochsDone = math.NaN()
+						c.hist.Points[i].PartialFraction = math.NaN()
+					}
 				}
 			}
 			if err := c.restoreState(state); err != nil {
@@ -603,6 +666,56 @@ func (c *Coordinator) selectDevices(round int) []int {
 
 func (c *Coordinator) stragglerPlan(round int, selected []int) (epochs []int, straggler []bool) {
 	return drawStragglerPlan(c.cfg, c.stragRoot.SplitIndex(round), round, selected)
+}
+
+// deviceBudget draws the device-side compute budget for one dispatch:
+// Config.DeviceBudget's allowance for (tag, device), clamped to
+// [1, epochs] — a contacted device always completes at least one epoch
+// (a device that cannot reply at all is the network/deadline policies'
+// job, not the work axis's). Zero without a budget model, the Dispatch
+// field's "unlimited" sentinel. tag is the round for synchronous
+// dispatches and the dispatch sequence for asynchronous ones, so the
+// draw is deterministic and identical across executors.
+func (c *Coordinator) deviceBudget(tag, device, epochs int) int {
+	if c.cfg.DeviceBudget == nil {
+		return 0
+	}
+	b := c.cfg.DeviceBudget.EpochBudget(tag, device, epochs)
+	if b < 1 {
+		b = 1
+	}
+	if b > epochs {
+		b = epochs
+	}
+	return b
+}
+
+// expectedEpochs resolves the work a device will perform for a
+// dispatch: the budget when one is set (deviceBudget already clamps it
+// to [1, epochs]), the dispatched target otherwise. The wire-facing
+// device runtime re-clamps with min() because its inputs are untrusted.
+func expectedEpochs(budget, epochs int) int {
+	if budget > 0 {
+		return budget
+	}
+	return epochs
+}
+
+// realizedEpochs resolves the epochs a reply's device actually ran.
+// Without a budget model the dispatched target is authoritative (legacy
+// replies need not report EpochsDone); with one, the device's report is,
+// clamped to [0, dispatched].
+func (c *Coordinator) realizedEpochs(dispatched, reported int) int {
+	if c.cfg.DeviceBudget == nil {
+		return dispatched
+	}
+	if reported < 0 {
+		return 0
+	}
+	if reported > dispatched {
+		return dispatched
+	}
+	return reported
 }
 
 // beginRound opens round c.t: selects devices, plans stragglers, encodes
@@ -647,14 +760,15 @@ func (c *Coordinator) beginRound() ([]Command, error) {
 			}
 		}
 		r.downBytes[i] = db
+		budget := c.deviceBudget(t, k, epochs[i])
 		c.pending[k] = &pendingDispatch{
 			device:    k,
 			index:     i,
 			epochs:    epochs[i],
+			expected:  expectedEpochs(budget, epochs[i]),
 			version:   t,
 			view:      view,
 			downBytes: db,
-			privTag:   t,
 		}
 		r.outstanding++
 		cmds = append(cmds, Dispatch{
@@ -663,10 +777,12 @@ func (c *Coordinator) beginRound() ([]Command, error) {
 			Version:      t,
 			Device:       k,
 			Epochs:       epochs[i],
+			EpochBudget:  budget,
 			Mu:           mu,
 			LearningRate: c.cfg.LearningRate,
 			BatchSize:    c.cfg.BatchSize,
 			BatchSeed:    c.batchRoot.SplitIndex(t).SplitIndex(k).State(),
+			PrivacyTag:   t,
 			Update:       u,
 			View:         view,
 			DownBytes:    db,
@@ -790,17 +906,28 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 	// devices can't know in advance they'll be dropped) and dropped
 	// stragglers' epochs are wasted work. With a codec the link is
 	// explicit: only contacted devices move bytes or spend epochs.
+	// Contacted devices are charged the epochs they actually ran (the
+	// reply's realized work — less than the dispatched target when a
+	// device-side budget truncated the solve).
 	for i := range r.selected {
 		if dropped(i) {
 			if c.legacy {
+				// The counterfactual charge follows the realized-work
+				// rule: a never-contacted device modeled as running
+				// anyway would still have stopped at its compute budget.
+				ep := expectedEpochs(c.deviceBudget(r.t, r.selected[i], r.epochs[i]), r.epochs[i])
 				c.cost.DownlinkBytes += c.paramBytes
-				c.cost.DeviceEpochs += r.epochs[i]
-				c.cost.WastedEpochs += r.epochs[i]
+				c.cost.DeviceEpochs += ep
+				c.cost.WastedEpochs += ep
 			}
 			continue
 		}
 		c.cost.DownlinkBytes += r.downBytes[i]
-		c.cost.DeviceEpochs += r.epochs[i]
+		ep := r.epochs[i]
+		if rep := r.replies[i]; rep != nil {
+			ep = rep.done
+		}
+		c.cost.DeviceEpochs += ep
 	}
 
 	var params [][]float64
@@ -814,7 +941,7 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 			// Replies cut by a virtual-time policy keep their transfer
 			// charges — the bytes moved — except a lost reply's uplink,
 			// which never reached the server.
-			c.cost.WastedEpochs += r.epochs[i]
+			c.cost.WastedEpochs += rep.done
 			if vdrop[i] != DropLost {
 				c.cost.UplinkBytes += rep.upBytes
 			}
@@ -823,6 +950,9 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 		c.cost.UplinkBytes += rep.upBytes
 		params = append(params, rep.wk)
 		nks = append(nks, rep.nk)
+		if c.cfg.DeviceBudget != nil {
+			c.work.add(rep.done, r.epochs[i])
+		}
 		if c.cfg.TrackGamma {
 			gammaSum += rep.gamma
 			gammaN++
@@ -910,15 +1040,27 @@ type coordinatorState struct {
 	Cost Cost
 	// Links is the serialized codec link state (nil without codecs).
 	Links []byte
+	// Device is the serialized device-side link state of the bound
+	// in-process device runtime — downlink chains, uplink rounding
+	// streams and error-feedback residuals, the eval receive chain (nil
+	// without codecs). Since the device runtime owns the uplink encoder
+	// state, a codec run cannot resume bit-identically without it.
+	Device []byte
 	// AdaptiveMu is the adaptive-μ controller's state (nil unless
 	// Config.AdaptiveMu), so a resumed adaptive run continues the
 	// controller's streak instead of restarting at Config.Mu.
 	AdaptiveMu *muState
+	// Work is the realized-work accumulator since the last evaluated
+	// point (Config.DeviceBudget runs). Without it a checkpoint whose
+	// cadence is misaligned with EvalEvery would resume with the next
+	// Point's MeanEpochsDone/PartialFraction covering only post-resume
+	// rounds.
+	Work workStats
 }
 
 // snapshotState serializes the coordinator's resumable extras.
 func (c *Coordinator) snapshotState() ([]byte, error) {
-	st := coordinatorState{Cost: c.cost}
+	st := coordinatorState{Cost: c.cost, Work: c.work}
 	if c.muc != nil {
 		ms := c.muc.snapshot()
 		st.AdaptiveMu = &ms
@@ -927,6 +1069,12 @@ func (c *Coordinator) snapshotState() ([]byte, error) {
 		var err error
 		if st.Links, err = c.links.snapshot(); err != nil {
 			return nil, fmt.Errorf("core: checkpoint link state: %w", err)
+		}
+	}
+	if c.dev != nil {
+		var err error
+		if st.Device, err = c.dev.snapshotLinks(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint device link state: %w", err)
 		}
 	}
 	var buf bytes.Buffer
@@ -953,6 +1101,7 @@ func (c *Coordinator) restoreState(state []byte) error {
 	}
 	c.cost = st.Cost
 	c.cost.WireUplinkBytes, c.cost.WireDownlinkBytes = 0, 0
+	c.work = st.Work
 	if c.muc != nil && st.AdaptiveMu != nil {
 		c.muc.restore(*st.AdaptiveMu)
 	}
@@ -962,6 +1111,14 @@ func (c *Coordinator) restoreState(state []byte) error {
 		}
 		if err := c.links.restore(st.Links); err != nil {
 			return fmt.Errorf("core: checkpoint link state: %w", err)
+		}
+	}
+	if c.dev != nil && c.dev.links != nil {
+		if len(st.Device) == 0 {
+			return errors.New("core: checkpoint carries no device link state (saved by an older run?)")
+		}
+		if err := c.dev.restoreLinks(st.Device); err != nil {
+			return fmt.Errorf("core: checkpoint device link state: %w", err)
 		}
 	}
 	return nil
@@ -1022,6 +1179,7 @@ func (c *Coordinator) asyncDispatch() (Dispatch, error) {
 	batchSeed := c.batchRoot.SplitIndex(c.dispatchSeq).SplitIndex(id).State()
 	seq := c.dispatchSeq
 	c.dispatchSeq++
+	budget := c.deviceBudget(seq, id, epochs)
 
 	view := c.w
 	var u *comm.Update
@@ -1039,10 +1197,10 @@ func (c *Coordinator) asyncDispatch() (Dispatch, error) {
 		device:    id,
 		seq:       seq,
 		epochs:    epochs,
+		expected:  expectedEpochs(budget, epochs),
 		version:   c.version,
 		view:      view,
 		downBytes: db,
-		privTag:   seq,
 		sentAt:    c.now,
 	}
 	return Dispatch{
@@ -1051,10 +1209,12 @@ func (c *Coordinator) asyncDispatch() (Dispatch, error) {
 		Version:      c.version,
 		Device:       id,
 		Epochs:       epochs,
+		EpochBudget:  budget,
 		Mu:           c.cfg.Mu,
 		LearningRate: c.cfg.LearningRate,
 		BatchSize:    c.cfg.BatchSize,
 		BatchSeed:    batchSeed,
+		PrivacyTag:   seq,
 		Update:       u,
 		View:         view,
 		DownBytes:    db,
@@ -1097,7 +1257,7 @@ func (c *Coordinator) DispatchSent(device int) {
 	}
 	in.charged = true
 	c.cost.DownlinkBytes += in.downBytes
-	c.cost.DeviceEpochs += in.epochs
+	c.cost.DeviceEpochs += in.expected
 }
 
 // handleAsyncReply folds (or discards) one arrived reply: the device's
@@ -1116,6 +1276,13 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 	wk, upWire, err := c.decodeReply(in, r)
 	if err != nil {
 		return nil, err
+	}
+	// DispatchSent charged the expected (budget-clamped) work; the
+	// device's reply reports the realized work — adjust the charge on
+	// any residual difference.
+	done := c.realizedEpochs(in.expected, r.EpochsDone)
+	if in.charged && done != in.expected {
+		c.cost.DeviceEpochs += done - in.expected
 	}
 
 	// The deadline judges the reply's own network+compute latency, which
@@ -1157,6 +1324,9 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 			delta[i] = wk[i] - in.view[i]
 		}
 		c.buffer = append(c.buffer, StaleDelta{Delta: delta, Weight: c.sizes[r.Device], Version: in.version})
+		if c.cfg.DeviceBudget != nil {
+			c.work.add(done, in.epochs)
+		}
 		c.folded++
 		if len(c.buffer) >= c.flushSize {
 			if foldStaleDeltas(c.w, c.buffer, c.version, c.cfg.Sampling, c.async.Alpha, c.async.StalenessExponent, &c.stats) {
@@ -1183,13 +1353,13 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 		// coordinator, so no uplink bytes — only its downlink consumed
 		// the window, and its work is waste.
 		c.windowBytes += in.downBytes
-		c.cost.WastedEpochs += in.epochs
+		c.cost.WastedEpochs += done
 		staleness = -1
 	default: // DropDeadline, DropBudget, DropDrain
 		// The transfer happened; the coordinator ignored it.
 		c.cost.UplinkBytes += upWire
 		c.windowBytes += roundTrip
-		c.cost.WastedEpochs += in.epochs
+		c.cost.WastedEpochs += done
 		staleness = -1
 	}
 	if c.timed() {
@@ -1227,11 +1397,11 @@ func (c *Coordinator) WorkerLost(devices []int) ([]Command, error) {
 		c.liveDevices--
 		delete(c.idle, id)
 		if in, ok := c.pending[id]; ok {
-			// The dispatched epochs stay charged; whatever the dead
-			// worker computed is lost — waste. A dispatch whose send was
-			// never confirmed carries no charges to waste.
+			// The expected (budget-clamped) epochs stay charged; whatever
+			// the dead worker computed is lost — waste. A dispatch whose
+			// send was never confirmed carries no charges to waste.
 			if in.charged {
-				c.cost.WastedEpochs += in.epochs
+				c.cost.WastedEpochs += in.expected
 			}
 			delete(c.pending, id)
 		}
@@ -1246,32 +1416,8 @@ func (c *Coordinator) WorkerLost(devices []int) ([]Command, error) {
 }
 
 // ---------------------------------------------------------------------
-// Shared reply, uplink, and evaluation machinery
+// Shared reply and evaluation machinery
 // ---------------------------------------------------------------------
-
-// EncodeUplink turns a locally computed solution into the Reply a remote
-// worker would have produced: the privacy mechanism is applied in place,
-// then the solution is encoded on the device's uplink (advancing the
-// same per-link rounding streams and residuals a worker-side encoder
-// advances). In-process drivers call it between the local solve and
-// HandleReply; it is safe to call concurrently for distinct devices.
-func (c *Coordinator) EncodeUplink(device int, wk []float64) (Reply, error) {
-	in, ok := c.pending[device]
-	if !ok {
-		return Reply{}, fmt.Errorf("core: EncodeUplink for device %d with no outstanding dispatch", device)
-	}
-	if c.cfg.Privacy != nil {
-		c.cfg.Privacy.Apply(wk, in.view, in.privTag, device)
-	}
-	if c.links != nil {
-		u, err := c.links.uplinkEncode(device, wk, in.view)
-		if err != nil {
-			return Reply{}, err
-		}
-		return Reply{Device: device, Update: u}, nil
-	}
-	return Reply{Device: device, Params: wk}, nil
-}
 
 // decodeReply recovers the device's solution from a Reply: encoded
 // uplinks decode against the exact broadcast view the device trained
@@ -1316,6 +1462,7 @@ func (c *Coordinator) HandleReply(r Reply) ([]Command, error) {
 	c.round.replies[in.index] = &syncReply{
 		wk:      wk,
 		nk:      c.sizes[r.Device],
+		done:    c.realizedEpochs(in.expected, r.EpochsDone),
 		gamma:   r.Gamma,
 		upBytes: upWire,
 		seq:     r.Seq,
@@ -1374,19 +1521,26 @@ func (c *Coordinator) EvalDone(e EvalResult) ([]Command, error) {
 	c.evalWait = nil
 
 	p := Point{
-		Round:          ew.round,
-		TrainLoss:      e.Loss,
-		TestAcc:        e.Acc,
-		GradVar:        math.NaN(),
-		B:              math.NaN(),
-		Mu:             ew.mu,
-		MeanGamma:      ew.gamma,
-		Participants:   ew.participants,
-		MeanStaleness:  math.NaN(),
-		MaxStaleness:   math.NaN(),
-		VirtualSeconds: c.now,
-		Cost:           c.cost,
+		Round:           ew.round,
+		TrainLoss:       e.Loss,
+		TestAcc:         e.Acc,
+		GradVar:         math.NaN(),
+		B:               math.NaN(),
+		Mu:              ew.mu,
+		MeanGamma:       ew.gamma,
+		Participants:    ew.participants,
+		MeanStaleness:   math.NaN(),
+		MaxStaleness:    math.NaN(),
+		VirtualSeconds:  c.now,
+		MeanEpochsDone:  math.NaN(),
+		PartialFraction: math.NaN(),
+		Cost:            c.cost,
 	}
+	if c.cfg.DeviceBudget != nil && c.work.N > 0 {
+		p.MeanEpochsDone = float64(c.work.Done) / float64(c.work.N)
+		p.PartialFraction = float64(c.work.Partial) / float64(c.work.N)
+	}
+	c.work = workStats{}
 	if c.cfg.TrackDissimilarity {
 		p.GradVar, p.B = e.GradVar, e.B
 	}

@@ -1,0 +1,307 @@
+package core
+
+// This file is the sans-I/O device runtime: the device half of the
+// FedProx protocol, mirroring the coordinator's event API on the other
+// end of the link. A Device owns everything a real client owns —
+//
+//   - the downlink decode and its per-device codec link state (the
+//     broadcast shadow a chained codec decodes against),
+//   - the shared evaluation-broadcast receive chain,
+//   - the local solve (any solver.LocalSolver) with the device-side
+//     compute-budget truncation (variable local work: the γ-inexact
+//     partial solutions the paper's framework is built to aggregate),
+//   - the γ-inexactness probe,
+//   - the client-side privacy hook (clip + noise before upload),
+//   - the uplink encode with its stateful rounding streams and
+//     error-feedback residuals,
+//
+// behind HandleDispatch/HandleEval, with no I/O, no clocks, and no
+// goroutines of its own. Three executors drive the same type:
+//
+//   - core.Run hosts one Device over every shard and serves each round's
+//     Dispatch commands in parallel against it,
+//   - the virtual-time driver (vsim.go) solves each Dispatch eagerly on
+//     the same Device and defers only the reply's arrival,
+//   - fednet.Worker wraps one Device per hosted shard set and translates
+//     TrainRequest/EvalRequest wire messages into these events.
+//
+// Because the solve, the truncation, the privacy hook, and both codec
+// endpoints run through this one type, device-side behavior cannot drift
+// between the simulator and the deployment: a feature added here (like
+// the epoch-budget truncation) is inherited by every executor by
+// construction, and the simulator's link state lives where the
+// deployment's does — on the device, not folded into the server.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+	"fedprox/internal/privacy"
+	"fedprox/internal/solver"
+)
+
+// EvalRequest asks a device runtime to evaluate the global model on every
+// shard it hosts. Exactly one of Update (the encoded broadcast on the
+// deployment's shared eval link) or Params (the decoded view, in-process
+// drivers) is set.
+type EvalRequest struct {
+	// Seq matches replies to requests; eval broadcasts are strictly
+	// sequential per deployment (the chained eval link depends on it).
+	Seq int
+	// Update is the encoded global model on the shared eval link.
+	Update *comm.Update
+	// Params is the decoded view for runtimes without wire links.
+	Params []float64
+}
+
+// DeviceEval is one shard's contribution to the global metrics.
+type DeviceEval struct {
+	Device    int
+	TrainLoss float64 // mean loss over the local training set
+	TrainN    int
+	Correct   int // correct test predictions
+	TestN     int
+}
+
+// EvalReply answers an EvalRequest with per-device metric contributions,
+// in ascending device order (deterministic on the wire).
+type EvalReply struct {
+	Seq     int
+	Devices []DeviceEval
+}
+
+// DeviceOptions carries the client-side knobs of a Device.
+type DeviceOptions struct {
+	// Solver is the local solver; nil selects mini-batch SGD.
+	Solver solver.LocalSolver
+	// Privacy, when non-nil, clips and noises every local solution in
+	// place before the uplink encode — the client-side half of
+	// update-level DP (the server never sees the raw solution).
+	Privacy *privacy.Mechanism
+	// TrackGamma computes the achieved γ-inexactness of every solution
+	// (one full local gradient pass per dispatch).
+	TrackGamma bool
+}
+
+// Device is the transport-agnostic FedProx client core, hosting one or
+// more device shards. Construct with NewDevice, optionally InstallLinks
+// for wire codecs, then serve HandleDispatch/HandleEval events.
+//
+// Device is safe for concurrent use by goroutines handling distinct
+// hosted devices (the link maps are mutex-guarded and per-device codec
+// state is single-owner, matching the at-most-one-outstanding-request-
+// per-device protocol invariant); eval receives are strictly sequential.
+type Device struct {
+	mdl    model.Model
+	shards map[int]*data.Shard
+	ids    []int // hosted device IDs, ascending
+	local  solver.LocalSolver
+	priv   *privacy.Mechanism
+	gamma  bool
+
+	// links, when installed, is the device side of the codec link state:
+	// downlink decoders with the last decoded broadcast per device,
+	// stateful uplink encoders, and the shared eval receive chain. Nil
+	// runs in-process: dispatches carry decoded views and replies carry
+	// raw parameters.
+	links *commLinks
+}
+
+// NewDevice builds a device runtime hosting the given shards.
+func NewDevice(mdl model.Model, shards []*data.Shard, opts DeviceOptions) *Device {
+	if mdl == nil || len(shards) == 0 {
+		panic("core: device runtime needs a model and at least one shard")
+	}
+	local := opts.Solver
+	if local == nil {
+		local = solver.SGDSolver{}
+	}
+	byID := make(map[int]*data.Shard, len(shards))
+	ids := make([]int, 0, len(shards))
+	for _, s := range shards {
+		byID[s.ID] = s
+		ids = append(ids, s.ID)
+	}
+	sort.Ints(ids)
+	return &Device{
+		mdl:    mdl,
+		shards: byID,
+		ids:    ids,
+		local:  local,
+		priv:   opts.Privacy,
+		gamma:  opts.TrackGamma,
+	}
+}
+
+// InstallLinks installs the device-side wire codecs for both directions
+// plus the shared eval receive chain, replacing any previous state — a
+// worker calls it when the coordinator's Welcome announces the
+// negotiated specs; the simulator when Config.Codec is enabled.
+func (dv *Device) InstallLinks(down, up comm.Spec) error {
+	links, err := newCommLinks(down, up)
+	if err != nil {
+		return err
+	}
+	dv.links = links
+	return nil
+}
+
+// SeedEvalPrev installs an eval chain base received from the server — a
+// re-admitted worker joins an eval chain already in progress.
+func (dv *Device) SeedEvalPrev(prev []float64) {
+	if dv.links != nil {
+		dv.links.eval.SeedPrev(prev)
+	}
+}
+
+// Hosted returns the hosted devices as registration entries, in
+// ascending device order.
+func (dv *Device) Hosted() []DeviceReg {
+	out := make([]DeviceReg, 0, len(dv.ids))
+	for _, id := range dv.ids {
+		out = append(out, DeviceReg{ID: id, TrainSize: len(dv.shards[id].Train)})
+	}
+	return out
+}
+
+// SolverConfig builds the local subproblem hyperparameters of this
+// dispatch — the single construction site shared by the solve and the
+// γ probe (and any external driver that needs it).
+func (d Dispatch) SolverConfig() solver.Config {
+	return solver.Config{
+		LearningRate: d.LearningRate,
+		BatchSize:    d.BatchSize,
+		Mu:           d.Mu,
+	}
+}
+
+// HandleDispatch serves one training dispatch: decode the broadcast
+// (advancing this endpoint's downlink chain), run the local solve —
+// truncated to the dispatch's device-side epoch budget — apply the
+// privacy hook, and encode the uplink reply on the device's stateful
+// encoder. The returned Reply carries the encoded update on wire
+// runtimes, the raw solution otherwise, and always reports the epochs
+// actually run in EpochsDone.
+func (dv *Device) HandleDispatch(d Dispatch) (Reply, error) {
+	shard, ok := dv.shards[d.Device]
+	if !ok {
+		return Reply{}, fmt.Errorf("core: device %d not hosted on this runtime", d.Device)
+	}
+	view := d.View
+	if d.Update != nil {
+		if dv.links == nil {
+			return Reply{}, fmt.Errorf("core: encoded dispatch for device %d on a runtime without links", d.Device)
+		}
+		dec, _, err := dv.links.state.Link(d.Device)
+		if err != nil {
+			return Reply{}, err
+		}
+		v, err := dec.Decode(d.Update, dv.links.state.Prev(d.Device))
+		if err != nil {
+			return Reply{}, err
+		}
+		view = v
+	}
+	if view == nil {
+		return Reply{}, errors.New("core: dispatch carries neither an encoded update nor a decoded view")
+	}
+	if len(view) != dv.mdl.NumParams() {
+		return Reply{}, fmt.Errorf("core: parameter length %d != model %d", len(view), dv.mdl.NumParams())
+	}
+	if d.Update != nil {
+		dv.links.state.SetPrev(d.Device, view)
+	}
+
+	// Variable local work: the device, not the server, decides how much
+	// of the dispatched epoch target it completes. A positive budget
+	// truncates the solve; the server only learns the realized work from
+	// EpochsDone.
+	epochs := d.Epochs
+	if d.EpochBudget > 0 && d.EpochBudget < epochs {
+		epochs = d.EpochBudget
+	}
+	scfg := d.SolverConfig()
+	wk := dv.local.Solve(dv.mdl, shard.Train, view, scfg, epochs, frand.New(d.BatchSeed))
+	if dv.priv != nil {
+		dv.priv.Apply(wk, view, d.PrivacyTag, d.Device)
+	}
+	r := Reply{Device: d.Device, EpochsDone: epochs}
+	if dv.links != nil {
+		u, err := dv.links.uplinkEncode(d.Device, wk, view)
+		if err != nil {
+			return Reply{}, err
+		}
+		r.Update = u
+	} else {
+		r.Params = wk
+	}
+	if dv.gamma {
+		// γ measures the (post-privacy) local solution against the
+		// broadcast the device received, before any uplink loss.
+		r.Gamma = solver.Gamma(dv.mdl, shard.Train, wk, view, scfg)
+	}
+	return r, nil
+}
+
+// HandleEval serves one evaluation broadcast: decode it on the shared
+// eval chain (wire runtimes) and report every hosted shard's metric
+// contribution in ascending device order.
+func (dv *Device) HandleEval(e EvalRequest) (EvalReply, error) {
+	view := e.Params
+	if e.Update != nil {
+		if dv.links == nil {
+			return EvalReply{}, errors.New("core: encoded eval broadcast on a runtime without links")
+		}
+		v, err := dv.links.eval.Receive(e.Update)
+		if err != nil {
+			return EvalReply{}, err
+		}
+		view = v
+	}
+	if view == nil {
+		return EvalReply{}, errors.New("core: eval request carries neither an encoded update nor a decoded view")
+	}
+	if len(view) != dv.mdl.NumParams() {
+		return EvalReply{}, fmt.Errorf("core: parameter length %d != model %d", len(view), dv.mdl.NumParams())
+	}
+	reply := EvalReply{Seq: e.Seq, Devices: make([]DeviceEval, 0, len(dv.ids))}
+	for _, id := range dv.ids {
+		s := dv.shards[id]
+		ev := DeviceEval{
+			Device:    id,
+			TrainLoss: dv.mdl.Loss(view, s.Train),
+			TrainN:    len(s.Train),
+			TestN:     len(s.Test),
+		}
+		for _, ex := range s.Test {
+			if dv.mdl.Predict(view, ex) == ex.Y {
+				ev.Correct++
+			}
+		}
+		reply.Devices = append(reply.Devices, ev)
+	}
+	return reply, nil
+}
+
+// snapshotLinks serializes the device half of the codec link state
+// (downlink chains, uplink rounding streams and residuals, the eval
+// receive chain) for checkpointing; nil without links.
+func (dv *Device) snapshotLinks() ([]byte, error) {
+	if dv.links == nil {
+		return nil, nil
+	}
+	return dv.links.snapshot()
+}
+
+// restoreLinks replays a snapshotLinks blob into this runtime's links.
+func (dv *Device) restoreLinks(state []byte) error {
+	if dv.links == nil {
+		return errors.New("core: device link snapshot on a runtime without links")
+	}
+	return dv.links.restore(state)
+}

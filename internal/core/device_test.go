@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/data"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/frand"
+	"fedprox/internal/model/linear"
+	"fedprox/internal/solver"
+)
+
+// fixedBudget grants every dispatch the same epoch allowance.
+type fixedBudget int
+
+func (b fixedBudget) EpochBudget(tag, device, requested int) int { return int(b) }
+
+// TestDeviceTruncatesToBudget: the device runtime enforces the dispatch's
+// compute budget — the solve runs min(Epochs, EpochBudget) epochs, the
+// reply reports it, and the result is bit-identical to solving the
+// truncated epoch count directly.
+func TestDeviceTruncatesToBudget(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.1))
+	mdl := linear.ForDataset(fed)
+	dev := NewDevice(mdl, fed.Shards, DeviceOptions{})
+
+	shard := fed.Shards[0]
+	w0 := mdl.InitParams(frand.New(3))
+	d := Dispatch{
+		Device:       shard.ID,
+		Epochs:       8,
+		EpochBudget:  3,
+		LearningRate: 0.01,
+		BatchSize:    10,
+		BatchSeed:    frand.New(5).State(),
+		View:         w0,
+	}
+	r, err := dev.HandleDispatch(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpochsDone != 3 {
+		t.Fatalf("EpochsDone = %d, want the budget 3", r.EpochsDone)
+	}
+	want := solver.SGD(mdl, shard.Train, w0, d.SolverConfig(), 3, frand.New(d.BatchSeed))
+	for i := range want {
+		if r.Params[i] != want[i] {
+			t.Fatalf("truncated solve differs from a direct 3-epoch solve at coordinate %d", i)
+		}
+	}
+
+	// A budget at or above the target changes nothing.
+	d.EpochBudget = 8
+	r, err = dev.HandleDispatch(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpochsDone != 8 {
+		t.Fatalf("EpochsDone = %d, want the full target 8", r.EpochsDone)
+	}
+}
+
+// TestDeviceBudgetMatchesReducedEpochs: a run whose devices are uniformly
+// budget-limited to b epochs reproduces, bit for bit, a run dispatched at
+// b epochs — the truncation composes with nothing else.
+func TestDeviceBudgetMatchesReducedEpochs(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+
+	budgeted := FedProx(6, 5, 8, 0.01, 1)
+	budgeted.EvalEvery = 2
+	budgeted.DeviceBudget = fixedBudget(3)
+
+	reduced := FedProx(6, 5, 3, 0.01, 1)
+	reduced.EvalEvery = 2
+
+	a, err := Run(mdl, fed, budgeted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mdl, fed, reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].TrainLoss != b.Points[i].TrainLoss {
+			t.Fatalf("point %d: budgeted loss %.17g != reduced-epoch loss %.17g",
+				i, a.Points[i].TrainLoss, b.Points[i].TrainLoss)
+		}
+	}
+	// The budgeted run charges only the realized work.
+	fa, fb := a.Final().Cost, b.Final().Cost
+	if fa.DeviceEpochs != fb.DeviceEpochs {
+		t.Fatalf("budgeted run charged %d device epochs, want %d (the realized work)",
+			fa.DeviceEpochs, fb.DeviceEpochs)
+	}
+	fin := a.Final()
+	if !a.TracksWork() || fin.MeanEpochsDone != 3 {
+		t.Fatalf("work columns: tracked=%v mean=%g, want tracked mean 3", a.TracksWork(), fin.MeanEpochsDone)
+	}
+	if fin.PartialFraction != 1 {
+		t.Fatalf("PartialFraction = %g, want 1 (every update truncated below its 8-epoch target)", fin.PartialFraction)
+	}
+	if b.TracksWork() {
+		t.Fatal("run without a budget model must not track work columns")
+	}
+	if !math.IsNaN(b.Final().MeanEpochsDone) {
+		t.Fatal("MeanEpochsDone must be NaN without a budget model")
+	}
+}
+
+// TestDeviceBudgetClampsLegacyDropCharge: under the legacy (no-codec)
+// accounting, never-contacted dropped stragglers are charged a
+// counterfactual full run — but a device-side budget bounds that
+// counterfactual too, so a drop-vs-aggregate cost comparison under the
+// same fleet stays fair.
+func TestDeviceBudgetClampsLegacyDropCharge(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+
+	drop := FedAvg(6, 8, 8, 0.01)
+	drop.StragglerFraction = 0.9
+	drop.EvalEvery = 3
+
+	unbudgeted, err := Run(mdl, fed, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted := drop
+	budgeted.DeviceBudget = fixedBudget(3)
+	capped, err := Run(mdl, fed, budgeted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, cc := unbudgeted.Final().Cost, capped.Final().Cost
+	if cc.WastedEpochs >= uc.WastedEpochs {
+		t.Fatalf("budgeted drop run wasted %d epochs, unbudgeted %d — the budget must bound the counterfactual charge",
+			cc.WastedEpochs, uc.WastedEpochs)
+	}
+	if cc.DeviceEpochs >= uc.DeviceEpochs {
+		t.Fatalf("budgeted drop run charged %d device epochs, unbudgeted %d", cc.DeviceEpochs, uc.DeviceEpochs)
+	}
+}
+
+// TestDeviceBudgetAsyncVTimeDeterministic: the variable-work axis runs on
+// the virtual-time asynchronous path too, deterministically, charging the
+// compute leg for the realized epochs (less virtual time than full work).
+func TestDeviceBudgetAsyncVTimeDeterministic(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+	n := fed.NumDevices()
+
+	cfg := vtimeAsyncConfig(AsyncTotal, n)
+	cfg.StragglerFraction = 0
+	cfg.DeviceBudget = fixedBudget(1)
+
+	a, err := Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !historiesEqual(a, b) {
+		t.Fatal("budgeted vtime async run is not reproducible under the same seed")
+	}
+	full := cfg
+	full.DeviceBudget = nil
+	f, err := Run(mdl, fed, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a.VirtualDuration() < f.VirtualDuration()) {
+		t.Fatalf("budgeted run took %.3f virtual-s, full work %.3f — truncation must shorten the compute leg",
+			a.VirtualDuration(), f.VirtualDuration())
+	}
+	if !a.TracksWork() {
+		t.Fatal("async budgeted run must track work columns")
+	}
+}
+
+// TestDeviceHandleEvalSortedOrder: eval replies list hosted devices in
+// ascending ID order regardless of shard registration order, so the wire
+// output is deterministic run to run.
+func TestDeviceHandleEvalSortedOrder(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.1))
+	mdl := linear.ForDataset(fed)
+	// Register shards in reverse order.
+	rev := append([]*data.Shard(nil), fed.Shards...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	dev := NewDevice(mdl, rev, DeviceOptions{})
+	w0 := mdl.InitParams(frand.New(3))
+	reply, err := dev.HandleEval(EvalRequest{Seq: 1, Params: w0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Devices) != fed.NumDevices() {
+		t.Fatalf("eval reported %d devices, want %d", len(reply.Devices), fed.NumDevices())
+	}
+	for i := 1; i < len(reply.Devices); i++ {
+		if reply.Devices[i-1].Device >= reply.Devices[i].Device {
+			t.Fatalf("eval devices out of order at %d: %d >= %d",
+				i, reply.Devices[i-1].Device, reply.Devices[i].Device)
+		}
+	}
+}
+
+// TestDeviceBudgetCheckpointResume: the budget axis composes with
+// checkpointing — a resumed codec run continues the work columns and the
+// device-side encoder state bit for bit.
+func TestDeviceBudgetCheckpointResume(t *testing.T) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.12))
+	mdl := linear.ForDataset(fed)
+
+	base := FedProx(6, 5, 8, 0.01, 1)
+	base.EvalEvery = 2
+	base.DeviceBudget = fixedBudget(3)
+	base.Codec = comm.Spec{Name: "delta+qsgd", Bits: 8}
+
+	straight, err := Run(mdl, fed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: stop after the first save, then resume. The
+	// checkpoint cadence is deliberately misaligned with EvalEvery so
+	// the resume crosses an evaluation window boundary: the partially
+	// accumulated work counters must ride the checkpoint for the next
+	// Point's MeanEpochsDone to match.
+	ck := &memCheckpointer{failAfterSaves: 1}
+	interrupted := base
+	interrupted.Checkpointer = ck
+	interrupted.CheckpointEvery = 1
+	if _, err := Run(mdl, fed, interrupted); err == nil {
+		t.Fatal("expected the interrupted run to fail at the injected stop")
+	}
+	ck.failAfterSaves = 0
+	resumed, err := Run(mdl, fed, interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Points) != len(straight.Points) {
+		t.Fatalf("resumed run has %d points, want %d", len(resumed.Points), len(straight.Points))
+	}
+	for i := range straight.Points {
+		sp, rp := straight.Points[i], resumed.Points[i]
+		if sp.TrainLoss != rp.TrainLoss {
+			t.Fatalf("point %d: resumed loss %.17g != straight %.17g", i, rp.TrainLoss, sp.TrainLoss)
+		}
+		if math.Float64bits(sp.MeanEpochsDone) != math.Float64bits(rp.MeanEpochsDone) {
+			t.Fatalf("point %d: resumed MeanEpochsDone %g != straight %g", i, rp.MeanEpochsDone, sp.MeanEpochsDone)
+		}
+	}
+	if straight.Final().Cost != resumed.Final().Cost {
+		t.Fatalf("resumed cost %+v != straight %+v", resumed.Final().Cost, straight.Final().Cost)
+	}
+}
+
+// memCheckpointer persists in memory and can fail the run after a set
+// number of saves (simulating a crash just past a checkpoint).
+type memCheckpointer struct {
+	next           int
+	params         []float64
+	hist           *History
+	state          []byte
+	saves          int
+	failAfterSaves int
+}
+
+func (m *memCheckpointer) Load() (int, []float64, *History, []byte, error) {
+	if m.params == nil {
+		return 0, nil, nil, nil, nil
+	}
+	var h *History
+	if m.hist != nil {
+		cp := *m.hist
+		cp.Points = append([]Point(nil), m.hist.Points...)
+		h = &cp
+	}
+	return m.next, append([]float64(nil), m.params...), h, append([]byte(nil), m.state...), nil
+}
+
+func (m *memCheckpointer) Save(next int, params []float64, hist *History, state []byte) error {
+	m.next = next
+	m.params = append(m.params[:0], params...)
+	cp := *hist
+	cp.Points = append([]Point(nil), hist.Points...)
+	m.hist = &cp
+	m.state = append(m.state[:0], state...)
+	m.saves++
+	if m.failAfterSaves > 0 && m.saves >= m.failAfterSaves {
+		return errInjectedStop
+	}
+	return nil
+}
+
+var errInjectedStop = errInjected{}
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "injected stop after checkpoint" }

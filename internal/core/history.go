@@ -38,6 +38,15 @@ type Point struct {
 	// clock at the recording milestone in the asynchronous ones. NaN
 	// when the run has no virtual clock.
 	VirtualSeconds float64
+	// MeanEpochsDone is the mean local epochs actually run by the
+	// updates aggregated since the previous evaluated point — the
+	// realized work under a device-side compute budget
+	// (Config.DeviceBudget). PartialFraction is the fraction of those
+	// updates the device truncated below its dispatched epoch target.
+	// Both are NaN when the run has no budget model (and at points with
+	// no aggregated updates, e.g. round 0).
+	MeanEpochsDone  float64
+	PartialFraction float64
 	// Cost is the cumulative resource accounting up to this round.
 	Cost Cost
 }
@@ -249,6 +258,18 @@ func (h *History) TracksStaleness() bool {
 	return false
 }
 
+// TracksWork reports whether any evaluated point carries realized-work
+// statistics — true only for runs with a device-side compute budget
+// (Config.DeviceBudget).
+func (h *History) TracksWork() bool {
+	for _, p := range h.Points {
+		if !math.IsNaN(p.MeanEpochsDone) {
+			return true
+		}
+	}
+	return false
+}
+
 // TracksVirtualTime reports whether the run executed on the virtual
 // clock (Config.VTime) and its points carry VirtualSeconds.
 func (h *History) TracksVirtualTime() bool {
@@ -278,9 +299,13 @@ func (h *History) String() string {
 	fmt.Fprintf(&b, "%s\n", h.Label)
 	stale := h.TracksStaleness()
 	vt := h.TracksVirtualTime()
+	work := h.TracksWork()
 	fmt.Fprintf(&b, "%6s %12s %9s %12s %8s", "round", "train-loss", "test-acc", "grad-var", "mu")
 	if stale {
 		fmt.Fprintf(&b, " %10s %9s", "mean-stale", "max-stale")
+	}
+	if work {
+		fmt.Fprintf(&b, " %11s %8s", "mean-epochs", "partial")
 	}
 	if vt {
 		fmt.Fprintf(&b, " %10s", "vtime-s")
@@ -299,6 +324,14 @@ func (h *History) String() string {
 				xs = fmt.Sprintf("%.0f", p.MaxStaleness)
 			}
 			fmt.Fprintf(&b, " %10s %9s", ms, xs)
+		}
+		if work {
+			me, pf := "-", "-"
+			if !math.IsNaN(p.MeanEpochsDone) {
+				me = fmt.Sprintf("%.2f", p.MeanEpochsDone)
+				pf = fmt.Sprintf("%.0f%%", 100*p.PartialFraction)
+			}
+			fmt.Fprintf(&b, " %11s %8s", me, pf)
 		}
 		if vt {
 			vs := "-"

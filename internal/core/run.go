@@ -7,20 +7,20 @@ import (
 	"sync"
 
 	"fedprox/internal/data"
-	"fedprox/internal/frand"
 	"fedprox/internal/metrics"
 	"fedprox/internal/model"
-	"fedprox/internal/solver"
 	"fedprox/internal/vtime"
 )
 
 // Run executes one federated optimization run of cfg on (m, fed) and
 // returns the evaluated trajectory.
 //
-// Run is the in-process driver of the shared core.Coordinator: the
-// coordinator makes every protocol decision (selection, straggler
-// policies, aggregation, accounting) and this loop only executes its
-// commands — parallel local solves for Dispatch, metric passes for
+// Run is the in-process driver of the shared core.Coordinator and
+// core.Device: the coordinator makes every server-side decision
+// (selection, straggler policies, aggregation, accounting) and one
+// Device hosting every shard serves the device side (decode, solve,
+// privacy, encode). This loop only moves events between the two —
+// parallel HandleDispatch calls for Dispatch, metric passes for
 // Evaluate/ObserveLoss, and virtual-clock charges for AdvanceClock when
 // a latency model is attached.
 func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
@@ -34,7 +34,7 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 		return runAsyncVTime(m, fed, cfg)
 	}
 
-	coord, err := newSimCoordinator(m, fed, cfg)
+	coord, dev, err := newSimPair(m, fed, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -45,11 +45,6 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 	if cfg.VTime.Enabled() {
 		vt = newVtimer(cfg.VTime, int64(m.NumParams()*8))
 		coord.Tick(vt.eng.Now())
-	}
-	cfg = cfg.withDefaults()
-	local := cfg.Solver
-	if local == nil {
-		local = solver.SGDSolver{}
 	}
 
 	cmds, err := coord.Start()
@@ -94,7 +89,7 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 			}
 		}
 		if len(dispatches) > 0 {
-			replies, err := runDispatches(m, fed, coord, cfg, local, vt, dispatches)
+			replies, err := runDispatches(dev, cfg.Parallelism, vt, dispatches)
 			if err != nil {
 				return nil, err
 			}
@@ -112,21 +107,35 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 	}
 }
 
-// newSimCoordinator builds a coordinator with every shard of fed
-// registered as one in-process worker.
-func newSimCoordinator(m model.Model, fed *data.Federated, cfg Config) (*Coordinator, error) {
+// newSimPair builds the two halves of an in-process run: a coordinator
+// with every shard of fed registered as one in-process worker, and one
+// core.Device hosting all of those shards — the same device runtime the
+// fednet workers wrap, so device-side behavior cannot drift between the
+// simulator and the deployment. With a codec configured the device gets
+// its own link endpoint (the simulator's link state lives where the
+// deployment's does), and the pair is bound so checkpoints capture both
+// endpoints' codec state.
+func newSimPair(m model.Model, fed *data.Federated, cfg Config) (*Coordinator, *Device, error) {
 	coord, err := NewCoordinator(m, cfg, CoordinatorOptions{NumDevices: fed.NumDevices()})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	regs := make([]DeviceReg, 0, fed.NumDevices())
-	for _, s := range fed.Shards {
-		regs = append(regs, DeviceReg{ID: s.ID, TrainSize: len(s.Train)})
+	dev := NewDevice(m, fed.Shards, DeviceOptions{
+		Solver:     cfg.Solver,
+		Privacy:    cfg.Privacy,
+		TrackGamma: cfg.TrackGamma,
+	})
+	if cfg.Codec.Enabled() {
+		down, up := cfg.CommSpecs()
+		if err := dev.InstallLinks(down, up); err != nil {
+			return nil, nil, err
+		}
 	}
-	if _, err := coord.RegisterWorker(regs); err != nil {
-		return nil, err
+	coord.BindDevice(dev)
+	if _, err := coord.RegisterWorker(dev.Hosted()); err != nil {
+		return nil, nil, err
 	}
-	return coord, nil
+	return coord, dev, nil
 }
 
 // simEval answers an Evaluate command with in-process metric passes over
@@ -142,53 +151,19 @@ func simEval(m model.Model, fed *data.Federated, v Evaluate) EvalResult {
 	return res
 }
 
-// execDispatch serves one Dispatch in process — the local solve plus
-// the uplink encode a remote worker would perform. It returns the
-// reply, the raw (post-privacy) local solution for gamma probes, and
-// the encoded uplink wire size. Shared by the synchronous driver and
-// the virtual-time asynchronous driver so the two cannot drift.
-func execDispatch(m model.Model, fed *data.Federated, coord *Coordinator, local solver.LocalSolver, d Dispatch) (Reply, []float64, int64, error) {
-	shard := fed.Shards[d.Device]
-	scfg := solver.Config{
-		LearningRate: d.LearningRate,
-		BatchSize:    d.BatchSize,
-		Mu:           d.Mu,
-	}
-	// Every device trains from its view of the broadcast wᵗ; the view is
-	// read-only for the life of the dispatch.
-	wk := local.Solve(m, shard.Train, d.View, scfg, d.Epochs, frand.New(d.BatchSeed))
-	r, err := coord.EncodeUplink(d.Device, wk)
-	if err != nil {
-		return Reply{}, nil, 0, err
-	}
-	ub := int64(m.NumParams() * 8)
-	if r.Update != nil {
-		ub = r.Update.WireBytes()
-	}
-	return r, wk, ub, nil
-}
-
-// runDispatches executes one synchronous round's local solves in
-// parallel and, when a latency model is attached, stamps each reply with
-// its virtual transfer timing (sequence numbers allocated in selection
-// order, the ordering rule the arrival race uses).
-func runDispatches(m model.Model, fed *data.Federated, coord *Coordinator, cfg Config, local solver.LocalSolver, vt *vtimer, ds []Dispatch) ([]Reply, error) {
+// runDispatches serves one synchronous round's dispatches in parallel on
+// the shared device runtime (the decode → solve → probe → encode path
+// lives entirely in core.Device) and, when a latency model is attached,
+// stamps each reply with its virtual transfer timing (sequence numbers
+// allocated in selection order, the ordering rule the arrival race
+// uses). The compute leg is charged for the epochs the device actually
+// ran — a device-side budget that truncates the solve also shortens the
+// round's critical path.
+func runDispatches(dev *Device, parallelism int, vt *vtimer, ds []Dispatch) ([]Reply, error) {
 	replies := make([]Reply, len(ds))
 	errs := make([]error, len(ds))
-	parallelFor(len(ds), cfg.Parallelism, func(i int) {
-		d := ds[i]
-		r, wk, _, err := execDispatch(m, fed, coord, local, d)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		if cfg.TrackGamma {
-			// γ measures the device's local solution against the broadcast
-			// it received, before any uplink loss.
-			scfg := solver.Config{LearningRate: d.LearningRate, BatchSize: d.BatchSize, Mu: d.Mu}
-			r.Gamma = solver.Gamma(m, fed.Shards[d.Device].Train, wk, d.View, scfg)
-		}
-		replies[i] = r
+	parallelFor(len(ds), parallelism, func(i int) {
+		replies[i], errs[i] = dev.HandleDispatch(ds[i])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -200,15 +175,11 @@ func runDispatches(m model.Model, fed *data.Federated, coord *Coordinator, cfg C
 		for i, d := range ds {
 			seq := vt.seq
 			vt.seq++
-			ub := vt.paramBytes
-			if replies[i].Update != nil {
-				ub = replies[i].Update.WireBytes()
-			}
 			replies[i].Timed = true
 			replies[i].Seq = seq
 			replies[i].Rel = lat.DownlinkSeconds(seq, d.Device, d.DownBytes) +
-				lat.ComputeSeconds(d.Round, d.Device, d.Epochs) +
-				lat.UplinkSeconds(seq, d.Device, ub)
+				lat.ComputeSeconds(d.Round, d.Device, replies[i].EpochsDone) +
+				lat.UplinkSeconds(seq, d.Device, vt.uplinkBytes(replies[i]))
 			replies[i].Lost = lat.Dropped(seq, d.Device)
 		}
 	}
@@ -229,6 +200,17 @@ type vtimer struct {
 
 func newVtimer(cfg VTimeConfig, paramBytes int64) *vtimer {
 	return &vtimer{cfg: cfg, eng: vtime.NewEngine(), paramBytes: paramBytes}
+}
+
+// uplinkBytes returns a reply's encoded uplink size, falling back to the
+// uncompressed parameter bytes for raw in-process replies — shared by
+// the synchronous and asynchronous virtual-time drivers so the two
+// transfer charges cannot drift.
+func (v *vtimer) uplinkBytes(r Reply) int64 {
+	if r.Update != nil {
+		return r.Update.WireBytes()
+	}
+	return v.paramBytes
 }
 
 // chargeEval advances the clock by the evaluation broadcast's transfer
@@ -304,6 +286,9 @@ func Label(cfg Config) string {
 			base += fmt.Sprintf(" K=%d", a.BufferK)
 		}
 		base += "]"
+	}
+	if cfg.DeviceBudget != nil {
+		base += " [budget]"
 	}
 	if cfg.VTime.Enabled() {
 		base += " [vtime]"

@@ -20,7 +20,6 @@ import (
 
 	"fedprox/internal/data"
 	"fedprox/internal/model"
-	"fedprox/internal/solver"
 )
 
 // runAsyncVTime executes the asynchronous aggregation modes on the
@@ -32,19 +31,13 @@ func runAsyncVTime(m model.Model, fed *data.Federated, cfg Config) (*History, er
 	if fed.NumDevices() == 0 {
 		return nil, errors.New("core: vtime async run on an empty network")
 	}
-	coord, err := newSimCoordinator(m, fed, cfg)
+	coord, dev, err := newSimPair(m, fed, cfg)
 	if err != nil {
 		return nil, err
 	}
 	vt := newVtimer(cfg.VTime, int64(m.NumParams()*8))
 	coord.Tick(vt.eng.Now())
 	lat := cfg.VTime.Model
-
-	cfg = cfg.withDefaults()
-	local := cfg.Solver
-	if local == nil {
-		local = solver.SGDSolver{}
-	}
 
 	var (
 		queue  []Command
@@ -61,12 +54,15 @@ func runAsyncVTime(m model.Model, fed *data.Federated, cfg Config) (*History, er
 			queue = queue[1:]
 			switch v := cmd.(type) {
 			case Dispatch:
-				// The local solve runs eagerly — the simulator already
-				// knows the answer — and only the reply's arrival is
-				// deferred to the event queue. In-process shipping cannot
-				// fail, so the transfer is confirmed immediately.
+				// The local solve runs eagerly on the shared device
+				// runtime — the simulator already knows the answer — and
+				// only the reply's arrival is deferred to the event
+				// queue. In-process shipping cannot fail, so the transfer
+				// is confirmed immediately. The compute leg charges the
+				// epochs the device actually ran (a device-side budget
+				// shortens it).
 				coord.DispatchSent(v.Device)
-				r, _, ub, err := execDispatch(m, fed, coord, local, v)
+				r, err := dev.HandleDispatch(v)
 				if err != nil {
 					runErr = err
 					break
@@ -74,8 +70,8 @@ func runAsyncVTime(m model.Model, fed *data.Federated, cfg Config) (*History, er
 				sent := vt.eng.Now()
 				arrive := sent +
 					lat.DownlinkSeconds(v.Seq, v.Device, v.DownBytes) +
-					lat.ComputeSeconds(v.Seq, v.Device, v.Epochs) +
-					lat.UplinkSeconds(v.Seq, v.Device, ub)
+					lat.ComputeSeconds(v.Seq, v.Device, r.EpochsDone) +
+					lat.UplinkSeconds(v.Seq, v.Device, vt.uplinkBytes(r))
 				// Stamp the reply's own latency: the deadline policy must
 				// judge it, not the clock delta at arrival (an eval charge
 				// can overtake the scheduled arrival time).

@@ -27,6 +27,7 @@ func historiesEqual(a, b *History) bool {
 			{p.B, q.B}, {p.Mu, q.Mu}, {p.MeanGamma, q.MeanGamma},
 			{p.MeanStaleness, q.MeanStaleness}, {p.MaxStaleness, q.MaxStaleness},
 			{p.VirtualSeconds, q.VirtualSeconds},
+			{p.MeanEpochsDone, q.MeanEpochsDone}, {p.PartialFraction, q.PartialFraction},
 		} {
 			if !bits(f[0], f[1]) {
 				return false

@@ -213,10 +213,12 @@ func (d *asyncDriver) dispatch(v core.Dispatch) ([]core.Command, error) {
 		Device:       v.Device,
 		Update:       *v.Update,
 		Epochs:       v.Epochs,
+		EpochBudget:  v.EpochBudget,
 		Mu:           v.Mu,
 		LearningRate: v.LearningRate,
 		BatchSize:    v.BatchSize,
 		BatchSeed:    v.BatchSeed,
+		PrivacyTag:   v.PrivacyTag,
 	}
 	if cs.dead {
 		return d.s.coord.WorkerLost([]int{v.Device})
@@ -307,7 +309,7 @@ func (d *asyncDriver) waitEvent() ([]core.Command, error) {
 		if reply.Err != "" {
 			return nil, errors.New(reply.Err)
 		}
-		return s.coord.HandleReply(core.Reply{Device: reply.Device, Update: &reply.Update})
+		return s.coord.HandleReply(core.Reply{Device: reply.Device, Update: &reply.Update, EpochsDone: reply.EpochsDone})
 	case m.env.EvalReply != nil:
 		// A late eval reply from a conn that timed out during a previous
 		// evaluation: drop it.

@@ -88,6 +88,13 @@ func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
 	if cfg.Training.Solver != nil {
 		return nil, errors.New("fednet: local solvers are chosen by workers")
 	}
+	if cfg.Training.Privacy != nil {
+		// The mechanism is client-side state (it runs between the local
+		// solve and the uplink encode, inside core.Device); a server
+		// config cannot install it on remote workers. Reject rather than
+		// silently train without privacy.
+		return nil, errors.New("fednet: update-level privacy is device-side state; configure it on the workers (fednet.NewWorkerWithOptions / fedworker privacy flags)")
+	}
 	if cfg.Training.Checkpointer != nil {
 		return nil, errors.New("fednet: checkpointing is simulator-only")
 	}
@@ -336,10 +343,12 @@ func (s *Server) roundTripAll(dispatches []core.Dispatch) ([]core.Reply, error) 
 				Device:       d.Device,
 				Update:       *d.Update,
 				Epochs:       d.Epochs,
+				EpochBudget:  d.EpochBudget,
 				Mu:           d.Mu,
 				LearningRate: d.LearningRate,
 				BatchSize:    d.BatchSize,
 				BatchSeed:    d.BatchSeed,
+				PrivacyTag:   d.PrivacyTag,
 			}
 			env, err := s.roundTrip(dev.conn, Envelope{TrainRequest: &req})
 			if err != nil {
@@ -355,7 +364,7 @@ func (s *Server) roundTripAll(dispatches []core.Dispatch) ([]core.Reply, error) 
 				results[i] = result{err: errors.New(reply.Err)}
 				return
 			}
-			results[i] = result{reply: core.Reply{Device: d.Device, Update: &reply.Update}}
+			results[i] = result{reply: core.Reply{Device: d.Device, Update: &reply.Update, EpochsDone: reply.EpochsDone}}
 		}(i, d)
 	}
 	wg.Wait()

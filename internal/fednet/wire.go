@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"fedprox/internal/comm"
+	"fedprox/internal/core"
 )
 
 // DeviceInfo describes one shard a worker hosts.
@@ -94,14 +95,25 @@ type TrainRequest struct {
 	// Update is the encoded broadcast global model wᵗ for this device's
 	// downlink, decoded against the device's last decoded broadcast.
 	Update comm.Update
-	// Epochs is the device's epoch budget for this round.
+	// Epochs is the device's epoch target for this round.
 	Epochs int
+	// EpochBudget is the device-side compute budget in epochs (0 =
+	// unlimited): the worker's device runtime truncates its solve to
+	// min(Epochs, EpochBudget) and reports the realized work in
+	// TrainReply.EpochsDone (core.Config.DeviceBudget).
+	EpochBudget int
 	// Mu, LearningRate, BatchSize parameterize the local subproblem.
 	Mu           float64
 	LearningRate float64
 	BatchSize    int
 	// BatchSeed is the state of the device's batch-order stream.
 	BatchSeed uint64
+	// PrivacyTag seeds the device-side DP noise stream for this
+	// dispatch: the round (synchronous) or the dispatch sequence
+	// (asynchronous). Without it a worker's mechanism would reuse one
+	// noise vector every round, letting an observer difference two
+	// uplinks to cancel the noise exactly.
+	PrivacyTag int
 }
 
 // TrainReply returns the local solution.
@@ -114,6 +126,9 @@ type TrainReply struct {
 	// Update is the encoded local solution for the device's uplink,
 	// decoded against the broadcast view the device trained from.
 	Update comm.Update
+	// EpochsDone is the local epochs the device actually ran — less
+	// than Epochs when TrainRequest.EpochBudget truncated the solve.
+	EpochsDone int
 	// Err carries a worker-side failure description ("" on success).
 	Err string
 }
@@ -131,14 +146,10 @@ type EvalRequest struct {
 	Update comm.Update
 }
 
-// DeviceEval is one shard's contribution to the global metrics.
-type DeviceEval struct {
-	Device    int
-	TrainLoss float64 // mean loss over the local training set
-	TrainN    int
-	Correct   int // correct test predictions
-	TestN     int
-}
+// DeviceEval is one shard's contribution to the global metrics — the
+// core device runtime's type, shared so the wire and the runtime cannot
+// disagree on what an evaluation reports.
+type DeviceEval = core.DeviceEval
 
 // EvalReply returns per-device metric contributions.
 type EvalReply struct {

@@ -8,54 +8,56 @@ import (
 	"sync"
 
 	"fedprox/internal/comm"
+	"fedprox/internal/core"
 	"fedprox/internal/data"
-	"fedprox/internal/frand"
 	"fedprox/internal/model"
 	"fedprox/internal/solver"
 )
 
-// Worker hosts a set of device shards and serves training and evaluation
-// requests from a coordinator. Raw examples never leave the worker.
+// Worker is the transport shell around one core.Device: it registers the
+// hosted shards, completes the codec negotiation, and translates
+// TrainRequest/EvalRequest wire messages into the device runtime's
+// HandleDispatch/HandleEval events. All device-side protocol — downlink
+// decode and link state, the local solve with compute-budget truncation,
+// the uplink encode, the eval receive chain — lives in the runtime,
+// which is the same type the simulator drives in process, so worker
+// behavior cannot drift from the simulator's. Raw examples never leave
+// the worker.
 type Worker struct {
-	mdl    model.Model
-	shards map[int]*data.Shard
-	local  solver.LocalSolver
+	dev *core.Device
 
 	// Offer restricts which update codecs this worker advertises in its
 	// Hello; nil advertises every codec comm registers. The coordinator
 	// aborts the session if its configured codec is not offered.
 	Offer []string
-
-	// links is the worker's half of every hosted device's link state,
-	// installed by the coordinator's Welcome: downlink decoders with the
-	// last decoded broadcast per device, and stateful uplink encoders
-	// (rounding streams, error-feedback residuals). NewWorker seeds it
-	// with the raw codec so a worker can also be driven directly in
-	// tests.
-	links *comm.LinkState
-	// evalLink is the worker's end of the deployment's shared
-	// evaluation-broadcast link (downlink codec, direction comm.Eval).
-	evalLink *comm.EvalLink
 }
 
 // NewWorker builds a worker hosting the given shards. A nil localSolver
-// selects mini-batch SGD.
+// selects mini-batch SGD. The device runtime is seeded with raw links so
+// a worker can also be driven directly in tests; Serve replaces them
+// with the negotiated specs.
 func NewWorker(mdl model.Model, shards []*data.Shard, localSolver solver.LocalSolver) *Worker {
+	return NewWorkerWithOptions(mdl, shards, core.DeviceOptions{Solver: localSolver})
+}
+
+// NewWorkerWithOptions is NewWorker with the full set of client-side
+// knobs — in particular DeviceOptions.Privacy, the only place
+// update-level DP can be configured in a fednet deployment (the
+// mechanism clips and noises solutions before the uplink encode, so it
+// is worker state; the server config rejects it). TrackGamma is forced
+// off: the wire protocol does not carry γ, so probing it on a worker
+// would only waste a gradient pass per dispatch.
+func NewWorkerWithOptions(mdl model.Model, shards []*data.Shard, opts core.DeviceOptions) *Worker {
 	if mdl == nil || len(shards) == 0 {
 		panic("fednet: worker needs a model and at least one shard")
 	}
-	if localSolver == nil {
-		localSolver = solver.SGDSolver{}
-	}
-	byID := make(map[int]*data.Shard, len(shards))
-	for _, s := range shards {
-		byID[s.ID] = s
-	}
-	w := &Worker{mdl: mdl, shards: byID, local: localSolver}
+	opts.TrackGamma = false
+	dev := core.NewDevice(mdl, shards, opts)
 	raw := comm.Spec{Name: "raw"}.WithDefaults()
-	w.links, _ = comm.NewLinkState(raw, raw)
-	w.evalLink, _ = comm.NewEvalLink(raw)
-	return w
+	if err := dev.InstallLinks(raw, raw); err != nil {
+		panic(err) // the raw spec is statically valid
+	}
+	return &Worker{dev: dev}
 }
 
 // Run connects to the coordinator at addr, registers, and serves until
@@ -85,8 +87,8 @@ func (w *Worker) Serve(c *conn) error {
 	if hello.Codecs == nil {
 		hello.Codecs = comm.Names()
 	}
-	for id, s := range w.shards {
-		hello.Devices = append(hello.Devices, DeviceInfo{ID: id, TrainSize: len(s.Train)})
+	for _, reg := range w.dev.Hosted() {
+		hello.Devices = append(hello.Devices, DeviceInfo{ID: reg.ID, TrainSize: reg.TrainSize})
 	}
 	if err := c.send(Envelope{Hello: &hello}); err != nil {
 		return err
@@ -110,18 +112,13 @@ func (w *Worker) Serve(c *conn) error {
 			return fmt.Errorf("fednet: coordinator selected codec %q, but this worker offered only %v", name, hello.Codecs)
 		}
 	}
-	w.links, err = comm.NewLinkState(welcome.Downlink, welcome.Uplink)
-	if err != nil {
-		return err
-	}
-	w.evalLink, err = comm.NewEvalLink(welcome.Downlink)
-	if err != nil {
+	if err := w.dev.InstallLinks(welcome.Downlink, welcome.Uplink); err != nil {
 		return err
 	}
 	// A re-admission Welcome carries the eval chain's current base so
 	// this worker decodes the next broadcast in lockstep with the
 	// evaluators that never left.
-	w.evalLink.SeedPrev(welcome.EvalPrev)
+	w.dev.SeedEvalPrev(welcome.EvalPrev)
 	// Each TrainRequest is served in its own goroutine so an
 	// asynchronous coordinator can pipeline work for several hosted
 	// devices over one connection (it never has more than one request
@@ -160,62 +157,39 @@ func (w *Worker) Serve(c *conn) error {
 	}
 }
 
+// train translates one TrainRequest into a device dispatch.
 func (w *Worker) train(req *TrainRequest) TrainReply {
 	reply := TrainReply{Round: req.Round, Version: req.Version, Device: req.Device}
-	shard, ok := w.shards[req.Device]
-	if !ok {
-		reply.Err = fmt.Sprintf("device %d not hosted here", req.Device)
-		return reply
-	}
-	dec, enc, err := w.links.Link(req.Device)
-	if err != nil {
-		reply.Err = err.Error()
-		return reply
-	}
-	view, err := dec.Decode(&req.Update, w.links.Prev(req.Device))
-	if err != nil {
-		reply.Err = err.Error()
-		return reply
-	}
-	if len(view) != w.mdl.NumParams() {
-		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(view), w.mdl.NumParams())
-		return reply
-	}
-	w.links.SetPrev(req.Device, view)
-	cfg := solver.Config{
+	r, err := w.dev.HandleDispatch(core.Dispatch{
+		Round:        req.Round,
+		Version:      req.Version,
+		Device:       req.Device,
+		Epochs:       req.Epochs,
+		EpochBudget:  req.EpochBudget,
+		Mu:           req.Mu,
 		LearningRate: req.LearningRate,
 		BatchSize:    req.BatchSize,
-		Mu:           req.Mu,
+		BatchSeed:    req.BatchSeed,
+		PrivacyTag:   req.PrivacyTag,
+		Update:       &req.Update,
+	})
+	if err != nil {
+		reply.Err = err.Error()
+		return reply
 	}
-	wk := w.local.Solve(w.mdl, shard.Train, view, cfg, req.Epochs, frand.New(req.BatchSeed))
-	reply.Update = *enc.Encode(wk, view)
+	reply.Update = *r.Update
+	reply.EpochsDone = r.EpochsDone
 	return reply
 }
 
+// eval translates one EvalRequest into a device eval receive.
 func (w *Worker) eval(req *EvalRequest) EvalReply {
 	reply := EvalReply{Seq: req.Seq}
-	view, err := w.evalLink.Receive(&req.Update)
+	r, err := w.dev.HandleEval(core.EvalRequest{Seq: req.Seq, Update: &req.Update})
 	if err != nil {
 		reply.Err = err.Error()
 		return reply
 	}
-	if len(view) != w.mdl.NumParams() {
-		reply.Err = fmt.Sprintf("parameter length %d != model %d", len(view), w.mdl.NumParams())
-		return reply
-	}
-	for id, s := range w.shards {
-		ev := DeviceEval{
-			Device:    id,
-			TrainLoss: w.mdl.Loss(view, s.Train),
-			TrainN:    len(s.Train),
-			TestN:     len(s.Test),
-		}
-		for _, ex := range s.Test {
-			if w.mdl.Predict(view, ex) == ex.Y {
-				ev.Correct++
-			}
-		}
-		reply.Devices = append(reply.Devices, ev)
-	}
+	reply.Devices = r.Devices
 	return reply
 }
