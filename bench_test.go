@@ -21,6 +21,7 @@ import (
 	"fedprox/internal/frand"
 	"fedprox/internal/model/linear"
 	"fedprox/internal/solver"
+	"fedprox/internal/speed"
 )
 
 // benchOptions are small enough that the full bench suite completes in a
@@ -347,95 +348,10 @@ func BenchmarkLocalSolverGD(b *testing.B) {
 	}
 }
 
-// BenchmarkCoordinatorFold measures the coordinator's staleness-damped
-// fold (core.FoldStaleDeltas) — the arithmetic every asynchronous reply
-// crosses on its way into the global model, shared by the fednet runtime
-// and the virtual-time simulator. The workload is one FedBuff-style
-// flush: K buffered deltas of a 10k-parameter model at mixed staleness.
-func BenchmarkCoordinatorFold(b *testing.B) {
-	const dim, k = 10_000, 10
-	rng := frand.New(11)
-	w := rng.NormVec(make([]float64, dim), 0, 1)
-	batch := make([]core.StaleDelta, k)
-	for i := range batch {
-		batch[i] = core.StaleDelta{
-			Delta:   rng.NormVec(make([]float64, dim), 0, 0.01),
-			Weight:  float64(100 + 10*i),
-			Version: i / 2, // mixed staleness against version k
-		}
-	}
-	b.ReportAllocs()
-	b.SetBytes(8 * dim * k)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !core.FoldStaleDeltas(w, batch, k, core.UniformWeightedAvg, 1, 0.5) {
-			b.Fatal("fold did not advance the model")
-		}
-	}
-}
+// BenchmarkCoordinatorFold and BenchmarkDeviceDispatch are the gated
+// hot-path benchmarks: their bodies live in internal/speed so
+// cmd/fedspeed can run the same code via testing.Benchmark to regenerate
+// and gate the committed BENCH_speed.json.
+func BenchmarkCoordinatorFold(b *testing.B) { speed.CoordinatorFold(b) }
 
-// BenchmarkDeviceDispatch measures the device runtime's full dispatch
-// hot path — downlink decode, local solve, uplink encode on a stateful
-// chained codec — the per-contact work every executor (simulator, vtime
-// driver, fednet worker) performs through the same core.Device. The
-// coordinator's half (broadcast encode) runs outside the timer.
-func BenchmarkDeviceDispatch(b *testing.B) {
-	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.1))
-	mdl := linear.ForDataset(fed)
-	shard := fed.Shards[0]
-	spec := comm.Spec{Name: "delta+qsgd", Bits: 8, Seed: 11}.WithDefaults()
-
-	dev := core.NewDevice(mdl, fed.Shards[:1], core.DeviceOptions{})
-	if err := dev.InstallLinks(spec, spec); err != nil {
-		b.Fatal(err)
-	}
-	srv, err := comm.NewLinkState(spec, spec)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := frand.New(3)
-	wt := mdl.InitParams(rng.Split("params"))
-
-	// Pre-encode b.N broadcasts (the coordinator's job) so the timed
-	// loop holds only device-side work. Each broadcast is perturbed so
-	// the delta chain never degenerates.
-	updates := make([]*comm.Update, b.N)
-	seeds := make([]uint64, b.N)
-	for i := 0; i < b.N; i++ {
-		enc, _, err := srv.Link(shard.ID)
-		if err != nil {
-			b.Fatal(err)
-		}
-		prev := srv.Prev(shard.ID)
-		u := enc.Encode(wt, prev)
-		view, err := enc.Decode(u, prev)
-		if err != nil {
-			b.Fatal(err)
-		}
-		srv.SetPrev(shard.ID, view)
-		updates[i] = u
-		seeds[i] = rng.SplitIndex(i).State()
-		for j := range wt {
-			wt[j] += 1e-3
-		}
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r, err := dev.HandleDispatch(core.Dispatch{
-			Device:       shard.ID,
-			Epochs:       1,
-			Mu:           1,
-			LearningRate: 0.01,
-			BatchSize:    10,
-			BatchSeed:    seeds[i],
-			Update:       updates[i],
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if r.Update == nil || r.EpochsDone != 1 {
-			b.Fatal("device dispatch produced no encoded update")
-		}
-	}
-}
+func BenchmarkDeviceDispatch(b *testing.B) { speed.DeviceDispatch(b) }

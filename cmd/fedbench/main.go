@@ -14,12 +14,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"fedprox/internal/experiments"
+	"fedprox/internal/obs"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		series    = flag.Bool("series", false, "print full per-round series, not just the summary")
 		csvPath   = flag.String("csv", "", "also write every evaluated point as CSV to this file")
 		jsonPath  = flag.String("json", "", "write machine-readable run summaries (BENCH_*.json) to this file")
+		tracePath = flag.String("trace", "", "stream a JSONL event trace of every run to this file (see internal/obs)")
 		baseline  = flag.String("baseline", "", "compare against a committed BENCH_*.json and exit non-zero on loss regressions")
 		tolerance = flag.Float64("tolerance", 0.05, "relative final-loss budget for -baseline (0.05 = 5%)")
 		datasets  = flag.String("datasets", "", "comma-separated subset of synthetic,mnist,femnist,shakespeare,sent140")
@@ -96,6 +99,33 @@ func main() {
 		ids = experiments.IDs()
 	}
 
+	// closeTrace finalizes the -trace file; main's os.Exit error paths
+	// bypass defers, so it runs explicitly once the runs are done.
+	closeTrace := func() {}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriterSize(f, 1<<16)
+		j := obs.NewJSONL(w)
+		opts.Trace = j
+		closeTrace = func() {
+			err := j.Err()
+			if ferr := w.Flush(); err == nil {
+				err = ferr
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fedbench: trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	var csvFile *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -126,6 +156,7 @@ func main() {
 		}
 		entries = append(entries, res.BenchEntries()...)
 	}
+	closeTrace()
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)

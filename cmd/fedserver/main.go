@@ -19,8 +19,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -28,6 +30,7 @@ import (
 	"fedprox/internal/core"
 	"fedprox/internal/experiments"
 	"fedprox/internal/fednet"
+	"fedprox/internal/obs"
 )
 
 func main() {
@@ -53,6 +56,8 @@ func main() {
 		bufferK     = flag.Int("buffer-k", 0, "buffered mode: replies per flush (0 = -clients)")
 		maxInFlight = flag.Int("max-in-flight", 0, "async modes: concurrently outstanding train requests (0 = -clients)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-reply timeout before a worker is declared dead (0 = wait forever)")
+		tracePath   = flag.String("trace", "", "stream a wall-clock-stamped JSONL event trace to this file (see internal/obs)")
+		debugAddr   = flag.String("debug-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -101,6 +106,46 @@ func main() {
 		fail(fmt.Errorf("-drop (FedAvg straggler policy) requires synchronous rounds"))
 	}
 
+	// Observability: the coordinator's decision points stream to the
+	// -trace JSONL file and aggregate into the -debug-addr /metrics
+	// registry through one sink. Coordinator events are untimed on a real
+	// transport (no virtual clock), so WallClock stamps them with seconds
+	// since process start.
+	var sinks []obs.Sink
+	closeTrace := func() {}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		j := obs.NewJSONL(bw)
+		sinks = append(sinks, j)
+		closeTrace = func() {
+			err := j.Err()
+			if ferr := bw.Flush(); err == nil {
+				err = ferr
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fail(fmt.Errorf("trace: %w", err))
+			}
+		}
+	}
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		sinks = append(sinks, reg)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.Debug(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "fedserver: debug server: %v\n", err)
+			}
+		}()
+	}
+	cfg.Trace = obs.WallClock(obs.Multi(sinks...))
+
 	srv, err := fednet.NewServer(w.Model, fednet.ServerConfig{
 		Training:       cfg,
 		ExpectDevices:  w.Fed.NumDevices(),
@@ -118,6 +163,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	closeTrace()
 	fmt.Print(hist)
 	c := hist.Final().Cost
 	read, written := srv.BytesOnWire()

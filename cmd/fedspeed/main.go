@@ -1,0 +1,91 @@
+// Command fedspeed regenerates and gates BENCH_speed.json, the
+// committed ns/op baseline of the repository's hot-path mechanisms
+// (internal/speed). Where BENCH_baseline.json ratchets model quality
+// (cmd/fedbench -baseline), BENCH_speed.json ratchets mechanism speed:
+// the CI bench-smoke job fails when a gated benchmark's ns/op exceeds
+// the committed number by more than -tolerance.
+//
+//	fedspeed -out BENCH_speed.json            # (re)generate the baseline
+//	fedspeed -baseline BENCH_speed.json       # gate: exit 1 on regression
+//
+// The benchmarks are the exact bodies `go test -bench` runs
+// (BenchmarkCoordinatorFold, BenchmarkDeviceDispatch), executed through
+// testing.Benchmark with its standard auto-calibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"fedprox/internal/obs"
+	"fedprox/internal/speed"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the measured BENCH_speed.json to this file")
+		baseline  = flag.String("baseline", "", "compare against a committed BENCH_speed.json and exit non-zero on ns/op regressions")
+		tolerance = flag.Float64("tolerance", 0.15, "relative ns/op budget for -baseline (0.15 = 15%)")
+	)
+	flag.Parse()
+	if *out == "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "fedspeed: nothing to do; pass -out and/or -baseline")
+		os.Exit(2)
+	}
+
+	pts := make([]obs.BenchPoint, 0, len(speed.Benchmarks))
+	for _, bm := range speed.Benchmarks {
+		r := testing.Benchmark(bm.Fn)
+		pt := obs.BenchPoint{
+			Name:        bm.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		fmt.Printf("%-20s %12.0f ns/op %8d B/op %6d allocs/op  (%d iterations)\n",
+			pt.Name, pt.NsPerOp, pt.BytesPerOp, pt.AllocsPerOp, pt.Iterations)
+		pts = append(pts, pt)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		err = obs.WriteSpeed(f, pts)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		base, err := obs.ReadSpeed(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if regressions := obs.CompareSpeed(pts, base, *tolerance); len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "fedspeed: %d speed regression(s) vs %s:\n", len(regressions), *baseline)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("speed gate passed: no regressions vs %s (tolerance %.0f%%)\n", *baseline, 100**tolerance)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fedspeed: %v\n", err)
+	os.Exit(1)
+}

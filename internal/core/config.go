@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"fedprox/internal/comm"
+	"fedprox/internal/obs"
 	"fedprox/internal/privacy"
 	"fedprox/internal/solver"
 	"fedprox/internal/vtime"
@@ -201,6 +202,24 @@ type Config struct {
 	// flush each for Buffered), so the total device work matches a sync
 	// run of the same Rounds.
 	Async AsyncConfig
+	// Trace, when non-nil, receives one obs.Event at every coordinator
+	// decision point: run start/done, round open/close, each dispatch,
+	// each reply with its disposition (folded or a drop reason),
+	// staleness, realized epochs and wire bytes, folds, evaluations,
+	// checkpoints, and worker eviction/re-admission. Events are stamped
+	// with the run's virtual clock (NaN when the run has no clock — wire
+	// drivers wrap the sink in obs.WallClock to stamp wall seconds
+	// instead). Every executor serializes coordinator events, and their
+	// payloads derive only from Seed, so a deterministic sink such as
+	// obs.JSONL produces byte-identical traces for same-seed sim/vtime
+	// runs. Tracing never alters the run itself: History and the model
+	// trajectory are bit-identical with and without a sink.
+	//
+	// Trace covers the coordinator half only; the device runtime's
+	// events are a DeviceOptions.Trace concern (fednet workers), because
+	// the simulator solves dispatches in parallel and device-side
+	// emission order there would not be deterministic.
+	Trace obs.Sink
 	// VTime, when enabled (non-nil Model), runs the simulation on the
 	// internal/vtime virtual clock: synchronous rounds are charged their
 	// critical-path duration (slowest contacted device's round-trip plus

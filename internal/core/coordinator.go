@@ -40,6 +40,7 @@ import (
 	"fedprox/internal/comm"
 	"fedprox/internal/frand"
 	"fedprox/internal/model"
+	"fedprox/internal/obs"
 	"fedprox/internal/tensor"
 )
 
@@ -387,10 +388,11 @@ type Coordinator struct {
 	// checkpointing instead.
 	dev *Device
 
-	hist *History
-	cost Cost
-	work workStats
-	now  float64 // virtual clock mirror; NaN until the driver Ticks
+	hist  *History
+	cost  Cost
+	work  workStats
+	now   float64  // virtual clock mirror; NaN until the driver Ticks
+	trace obs.Sink // Config.Trace; nil means tracing off
 
 	evalSeq int
 
@@ -450,10 +452,23 @@ func NewCoordinator(mdl model.Model, cfg Config, opts CoordinatorOptions) (*Coor
 		initRoot:   root.Split("init"),
 		hist:       &History{Label: Label(cfg) + opts.LabelSuffix},
 		now:        math.NaN(),
+		trace:      cfg.Trace,
 		pending:    make(map[int]*pendingDispatch),
 		isAsync:    cfg.Async.Enabled(),
 	}
 	return c, nil
+}
+
+// emit sends one event to the run's trace sink, stamped with the
+// coordinator's clock mirror (virtual seconds, or NaN when the run has
+// no clock). The nil-sink fast path keeps the untraced hot path at one
+// predictable branch.
+func (c *Coordinator) emit(e obs.Event) {
+	if c.trace == nil {
+		return
+	}
+	e.Time = c.now
+	c.trace.Emit(e)
 }
 
 // CommSpecs returns the resolved per-direction codec specs of this run —
@@ -554,6 +569,7 @@ func (c *Coordinator) RegisterWorker(devices []DeviceReg) ([]Command, error) {
 		c.live[d.ID] = true
 		c.liveDevices++
 		c.idle[d.ID] = true
+		c.emit(obs.Event{Kind: obs.KindWorkerReadmit, Device: d.ID})
 	}
 	if c.evalWait != nil {
 		return nil, nil
@@ -574,6 +590,7 @@ func (c *Coordinator) Start() ([]Command, error) {
 		}
 	}
 	c.started = true
+	c.emit(obs.Event{Kind: obs.KindRunStart, Label: c.hist.Label, N: c.n})
 
 	total := 0.0
 	for _, s := range c.sizes {
@@ -725,6 +742,7 @@ func (c *Coordinator) realizedEpochs(dispatched, reported int) int {
 func (c *Coordinator) beginRound() ([]Command, error) {
 	if c.t >= c.cfg.Rounds {
 		c.finished = true
+		c.emit(obs.Event{Kind: obs.KindRunDone})
 		return []Command{Done{}}, nil
 	}
 	t := c.t
@@ -744,10 +762,13 @@ func (c *Coordinator) beginRound() ([]Command, error) {
 		replies:   make([]*syncReply, len(selected)),
 	}
 	c.round = r
+	c.emit(obs.Event{Kind: obs.KindRoundOpen, Round: t, N: len(selected)})
 	var cmds []Command
 	for i, k := range selected {
 		if c.cfg.Straggler == DropStragglers && straggler[i] {
-			continue // never contacted; accounted at round completion
+			// Never contacted; accounted at round completion.
+			c.emit(obs.Event{Kind: obs.KindDrop, Round: t, Device: k, Disposition: DropPolicy.String()})
+			continue
 		}
 		view := c.w
 		var u *comm.Update
@@ -771,6 +792,10 @@ func (c *Coordinator) beginRound() ([]Command, error) {
 			downBytes: db,
 		}
 		r.outstanding++
+		c.emit(obs.Event{
+			Kind: obs.KindDispatch, Round: t, Seq: i, Device: k, Version: t,
+			Epochs: epochs[i], Budget: budget, BytesDown: db,
+		})
 		cmds = append(cmds, Dispatch{
 			Seq:          i,
 			Round:        t,
@@ -883,6 +908,7 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 
 	var pre []Command
 	var vdrop []DropReason
+	roundSecs := math.NaN()
 	timedRound := false
 	for _, rep := range r.replies {
 		if rep != nil && rep.timed {
@@ -893,6 +919,7 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 	if timedRound {
 		duration, drop := c.cutSyncRound(r)
 		vdrop = drop
+		roundSecs = duration
 		pre = append(pre, AdvanceClock{Seconds: duration})
 	}
 
@@ -937,6 +964,21 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 		if rep == nil {
 			continue
 		}
+		if c.trace != nil {
+			disp, stale := ArrivalFolded, 0
+			if vDropped(i) {
+				disp, stale = vdrop[i], -1
+			}
+			rel := math.NaN()
+			if rep.timed {
+				rel = rep.rel
+			}
+			c.emit(obs.Event{
+				Kind: obs.KindReply, Seq: i, Device: r.selected[i], Version: r.t,
+				Staleness: stale, EpochsDone: rep.done, BytesUp: rep.upBytes,
+				BytesDown: r.downBytes[i], Seconds: rel, Disposition: disp.String(),
+			})
+		}
 		if vDropped(i) {
 			// Replies cut by a virtual-time policy keep their transfer
 			// charges — the bytes moved — except a lost reply's uplink,
@@ -964,7 +1006,9 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 	}
 	if len(params) > 0 {
 		aggregate(c.w, params, nks, c.cfg.Sampling)
+		c.emit(obs.Event{Kind: obs.KindFold, Round: r.t, Version: r.t + 1, N: len(params)})
 	}
+	c.emit(obs.Event{Kind: obs.KindRoundClose, Round: r.t, N: len(params), Seconds: roundSecs})
 
 	outcome := &roundOutcome{t: r.t, mu: r.mu, gamma: gamma, participants: len(params)}
 	if c.muc != nil {
@@ -1024,6 +1068,7 @@ func (c *Coordinator) afterRecord(t int) ([]Command, error) {
 		if err := c.cfg.Checkpointer.Save(t+1, c.w, c.hist, state); err != nil {
 			return nil, fmt.Errorf("core: checkpoint save: %w", err)
 		}
+		c.emit(obs.Event{Kind: obs.KindCheckpoint, Round: t + 1})
 		pre = append(pre, Checkpoint{NextRound: t + 1})
 	}
 	c.t = t + 1
@@ -1203,6 +1248,10 @@ func (c *Coordinator) asyncDispatch() (Dispatch, error) {
 		downBytes: db,
 		sentAt:    c.now,
 	}
+	c.emit(obs.Event{
+		Kind: obs.KindDispatch, Round: c.folded / c.roundSize, Seq: seq, Device: id,
+		Version: c.version, Epochs: epochs, Budget: budget, BytesDown: db,
+	})
 	return Dispatch{
 		Seq:          seq,
 		Round:        c.folded / c.roundSize,
@@ -1238,6 +1287,7 @@ func (c *Coordinator) fillAsync() ([]Command, error) {
 	}
 	if c.folded >= c.target && len(c.pending) == 0 && !c.finished {
 		c.finished = true
+		c.emit(obs.Event{Kind: obs.KindRunDone})
 		cmds = append(cmds, Done{})
 	}
 	return cmds, nil
@@ -1314,6 +1364,18 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 		reason = DropBudget
 	}
 
+	if c.trace != nil {
+		stale := staleness
+		if reason != ArrivalFolded {
+			stale = -1
+		}
+		c.emit(obs.Event{
+			Kind: obs.KindReply, Seq: in.seq, Device: in.device, Version: in.version,
+			Staleness: stale, EpochsDone: done, BytesUp: upWire, BytesDown: in.downBytes,
+			Seconds: rel, Disposition: reason.String(),
+		})
+	}
+
 	var cmds []Command
 	switch reason {
 	case ArrivalFolded:
@@ -1331,12 +1393,14 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 		if len(c.buffer) >= c.flushSize {
 			if foldStaleDeltas(c.w, c.buffer, c.version, c.cfg.Sampling, c.async.Alpha, c.async.StalenessExponent, &c.stats) {
 				c.version++
+				c.emit(obs.Event{Kind: obs.KindFold, Round: c.folded / c.roundSize, Version: c.version, N: len(c.buffer)})
 			}
 			c.buffer = c.buffer[:0]
 		}
 		if c.folded%c.roundSize == 0 {
 			c.windowBytes = 0 // the byte-budget window is per milestone
 			milestone := c.folded / c.roundSize
+			c.emit(obs.Event{Kind: obs.KindRoundClose, Round: milestone, N: c.roundSize, Seconds: math.NaN()})
 			if milestone%c.cfg.EvalEvery == 0 || milestone == c.cfg.Rounds {
 				// A milestone always folds exactly roundSize replies —
 				// the async analogue of the sync per-round participant
@@ -1396,6 +1460,7 @@ func (c *Coordinator) WorkerLost(devices []int) ([]Command, error) {
 		c.live[id] = false
 		c.liveDevices--
 		delete(c.idle, id)
+		c.emit(obs.Event{Kind: obs.KindWorkerLost, Device: id})
 		if in, ok := c.pending[id]; ok {
 			// The expected (budget-clamped) epochs stay charged; whatever
 			// the dead worker computed is lost — waste. A dispatch whose
@@ -1554,6 +1619,7 @@ func (c *Coordinator) EvalDone(e EvalResult) ([]Command, error) {
 		c.stats = foldStats{}
 	}
 	c.hist.Points = append(c.hist.Points, p)
+	c.emit(obs.Event{Kind: obs.KindEval, Round: ew.round, Loss: e.Loss, Acc: e.Acc})
 
 	cmds, err := ew.after()
 	if err != nil {

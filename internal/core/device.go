@@ -35,12 +35,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"fedprox/internal/comm"
 	"fedprox/internal/data"
 	"fedprox/internal/frand"
 	"fedprox/internal/model"
+	"fedprox/internal/obs"
 	"fedprox/internal/privacy"
 	"fedprox/internal/solver"
 )
@@ -86,6 +88,16 @@ type DeviceOptions struct {
 	// TrackGamma computes the achieved γ-inexactness of every solution
 	// (one full local gradient pass per dispatch).
 	TrackGamma bool
+	// Trace, when non-nil, receives one obs.Event per served dispatch
+	// (realized epochs, wire bytes both ways) and eval broadcast — the
+	// device-side half of the observability spine, independent of the
+	// coordinator's Config.Trace. Events carry no clock (Time NaN);
+	// wall-clock runtimes (fednet workers) wrap the sink in
+	// obs.WallClock. The sink must tolerate concurrent Emit calls:
+	// dispatches for distinct hosted devices are served concurrently,
+	// which is also why the deterministic simulators leave this nil and
+	// trace only the coordinator.
+	Trace obs.Sink
 }
 
 // Device is the transport-agnostic FedProx client core, hosting one or
@@ -103,6 +115,7 @@ type Device struct {
 	local  solver.LocalSolver
 	priv   *privacy.Mechanism
 	gamma  bool
+	trace  obs.Sink
 
 	// links, when installed, is the device side of the codec link state:
 	// downlink decoders with the last decoded broadcast per device,
@@ -135,7 +148,19 @@ func NewDevice(mdl model.Model, shards []*data.Shard, opts DeviceOptions) *Devic
 		local:  local,
 		priv:   opts.Privacy,
 		gamma:  opts.TrackGamma,
+		trace:  opts.Trace,
 	}
+}
+
+// emit sends one event to the device's trace sink. Device events carry
+// no clock (Time NaN): the runtime is sans-I/O, so any timestamp is the
+// wrapping driver's business (obs.WallClock on wire runtimes).
+func (dv *Device) emit(e obs.Event) {
+	if dv.trace == nil {
+		return
+	}
+	e.Time = math.NaN()
+	dv.trace.Emit(e)
 }
 
 // InstallLinks installs the device-side wire codecs for both directions
@@ -245,6 +270,20 @@ func (dv *Device) HandleDispatch(d Dispatch) (Reply, error) {
 		// broadcast the device received, before any uplink loss.
 		r.Gamma = solver.Gamma(dv.mdl, shard.Train, wk, view, scfg)
 	}
+	if dv.trace != nil {
+		down := d.DownBytes
+		if d.Update != nil {
+			down = d.Update.WireBytes()
+		}
+		var up int64
+		if r.Update != nil {
+			up = r.Update.WireBytes()
+		}
+		dv.emit(obs.Event{
+			Kind: obs.KindDeviceDispatch, Round: d.Round, Seq: d.Seq, Device: d.Device,
+			EpochsDone: epochs, BytesUp: up, BytesDown: down,
+		})
+	}
 	return r, nil
 }
 
@@ -285,6 +324,7 @@ func (dv *Device) HandleEval(e EvalRequest) (EvalReply, error) {
 		}
 		reply.Devices = append(reply.Devices, ev)
 	}
+	dv.emit(obs.Event{Kind: obs.KindDeviceEval, Seq: e.Seq, N: len(dv.ids)})
 	return reply, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -291,54 +292,138 @@ func (h *History) VirtualDuration() float64 {
 	return h.Final().VirtualSeconds
 }
 
+// ReplyLatencyQuantiles returns the given quantiles (each in [0,1]) of
+// the per-reply latencies in the Arrivals trace — Arrived − Sent, the
+// network+compute round trip of every transmitted reply, dropped or
+// folded. Quantiles interpolate linearly between order statistics. The
+// result is all-NaN when the run recorded no arrivals (any run without a
+// virtual clock).
+func (h *History) ReplyLatencyQuantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(h.Arrivals) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	lat := make([]float64, len(h.Arrivals))
+	for i, a := range h.Arrivals {
+		lat[i] = a.Arrived - a.Sent
+	}
+	sort.Float64s(lat)
+	for i, q := range qs {
+		switch {
+		case math.IsNaN(q) || q < 0 || q > 1:
+			out[i] = math.NaN()
+		default:
+			pos := q * float64(len(lat)-1)
+			lo := int(pos)
+			hi := lo
+			if lo+1 < len(lat) {
+				hi = lo + 1
+			}
+			frac := pos - float64(lo)
+			out[i] = lat[lo]*(1-frac) + lat[hi]*frac
+		}
+	}
+	return out
+}
+
+// histColumn is one column of the String table: the header and every
+// cell share the column's width, so headers cannot drift from the rows
+// when optional columns (staleness, realized work, virtual time) are
+// combined.
+type histColumn struct {
+	head string
+	cell func(Point) string
+}
+
+// columns returns the table layout for this history's tracked features.
+func (h *History) columns() []histColumn {
+	na := func(v float64, format func(float64) string) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return format(v)
+	}
+	cols := []histColumn{
+		{"round", func(p Point) string { return fmt.Sprintf("%d", p.Round) }},
+		{"train-loss", func(p Point) string { return fmt.Sprintf("%.4f", p.TrainLoss) }},
+		{"test-acc", func(p Point) string { return fmt.Sprintf("%.4f", p.TestAcc) }},
+		{"grad-var", func(p Point) string {
+			return na(p.GradVar, func(v float64) string { return fmt.Sprintf("%.4g", v) })
+		}},
+		{"mu", func(p Point) string { return fmt.Sprintf("%.3g", p.Mu) }},
+	}
+	if h.TracksStaleness() {
+		cols = append(cols,
+			histColumn{"mean-stale", func(p Point) string {
+				return na(p.MeanStaleness, func(v float64) string { return fmt.Sprintf("%.2f", v) })
+			}},
+			histColumn{"max-stale", func(p Point) string {
+				return na(p.MeanStaleness, func(float64) string { return fmt.Sprintf("%.0f", p.MaxStaleness) })
+			}})
+	}
+	if h.TracksWork() {
+		cols = append(cols,
+			histColumn{"mean-epochs", func(p Point) string {
+				return na(p.MeanEpochsDone, func(v float64) string { return fmt.Sprintf("%.2f", v) })
+			}},
+			histColumn{"partial", func(p Point) string {
+				return na(p.MeanEpochsDone, func(float64) string { return fmt.Sprintf("%.0f%%", 100*p.PartialFraction) })
+			}})
+	}
+	if h.TracksVirtualTime() {
+		cols = append(cols, histColumn{"vtime-s", func(p Point) string {
+			return na(p.VirtualSeconds, func(v float64) string { return fmt.Sprintf("%.3f", v) })
+		}})
+	}
+	return cols
+}
+
+// histColumnWidths are the historical minimum widths by header; columns
+// not listed are at least as wide as their header.
+var histColumnWidths = map[string]int{
+	"round":      6,
+	"train-loss": 12,
+	"test-acc":   9,
+	"grad-var":   12,
+	"mu":         8,
+	"mean-stale": 10,
+	"max-stale":  9,
+	"partial":    8,
+	"vtime-s":    10,
+}
+
 // String renders the history as an aligned table of evaluated rounds.
-// Asynchronous histories gain staleness columns; synchronous ones keep
-// the historical format.
+// Asynchronous histories gain staleness columns, budgeted runs realized
+// work, virtual-time runs the clock; every column's header and cells are
+// rendered from one spec and one width, so combinations cannot drift out
+// of alignment.
 func (h *History) String() string {
+	cols := h.columns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = max(histColumnWidths[c.head], len(c.head))
+		for _, p := range h.Points {
+			widths[i] = max(widths[i], len(c.cell(p)))
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", h.Label)
-	stale := h.TracksStaleness()
-	vt := h.TracksVirtualTime()
-	work := h.TracksWork()
-	fmt.Fprintf(&b, "%6s %12s %9s %12s %8s", "round", "train-loss", "test-acc", "grad-var", "mu")
-	if stale {
-		fmt.Fprintf(&b, " %10s %9s", "mean-stale", "max-stale")
-	}
-	if work {
-		fmt.Fprintf(&b, " %11s %8s", "mean-epochs", "partial")
-	}
-	if vt {
-		fmt.Fprintf(&b, " %10s", "vtime-s")
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], c.head)
 	}
 	b.WriteByte('\n')
 	for _, p := range h.Points {
-		gv := "-"
-		if !math.IsNaN(p.GradVar) {
-			gv = fmt.Sprintf("%.4g", p.GradVar)
-		}
-		fmt.Fprintf(&b, "%6d %12.4f %9.4f %12s %8.3g", p.Round, p.TrainLoss, p.TestAcc, gv, p.Mu)
-		if stale {
-			ms, xs := "-", "-"
-			if !math.IsNaN(p.MeanStaleness) {
-				ms = fmt.Sprintf("%.2f", p.MeanStaleness)
-				xs = fmt.Sprintf("%.0f", p.MaxStaleness)
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteByte(' ')
 			}
-			fmt.Fprintf(&b, " %10s %9s", ms, xs)
-		}
-		if work {
-			me, pf := "-", "-"
-			if !math.IsNaN(p.MeanEpochsDone) {
-				me = fmt.Sprintf("%.2f", p.MeanEpochsDone)
-				pf = fmt.Sprintf("%.0f%%", 100*p.PartialFraction)
-			}
-			fmt.Fprintf(&b, " %11s %8s", me, pf)
-		}
-		if vt {
-			vs := "-"
-			if !math.IsNaN(p.VirtualSeconds) {
-				vs = fmt.Sprintf("%.3f", p.VirtualSeconds)
-			}
-			fmt.Fprintf(&b, " %10s", vs)
+			fmt.Fprintf(&b, "%*s", widths[i], c.cell(p))
 		}
 		b.WriteByte('\n')
 	}

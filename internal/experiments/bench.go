@@ -28,6 +28,15 @@ type BenchEntry struct {
 	// schema: the loss gate ignores it, and baselines written before the
 	// field parse unchanged.
 	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+	// ReplyLatencyP50/P90/P99 are quantiles of the per-reply virtual
+	// latency distribution (History.ReplyLatencyQuantiles over the
+	// Arrivals trace) for runs with a virtual clock — the
+	// straggler-tail summary behind the deadline/byte-budget policy
+	// comparisons. Deterministic per seed, never gated on, and omitted
+	// (like VirtualSeconds) for runs without a clock.
+	ReplyLatencyP50 float64 `json:"reply_latency_p50,omitempty"`
+	ReplyLatencyP90 float64 `json:"reply_latency_p90,omitempty"`
+	ReplyLatencyP99 float64 `json:"reply_latency_p99,omitempty"`
 }
 
 // BenchEntries flattens the result into gate-comparable entries. Runs
@@ -57,6 +66,10 @@ func (r *Result) BenchEntries() []BenchEntry {
 			}
 			if h.TracksVirtualTime() {
 				e.VirtualSeconds = fin.VirtualSeconds
+			}
+			if len(h.Arrivals) > 0 {
+				q := h.ReplyLatencyQuantiles(0.5, 0.9, 0.99)
+				e.ReplyLatencyP50, e.ReplyLatencyP90, e.ReplyLatencyP99 = q[0], q[1], q[2]
 			}
 			out = append(out, e)
 		}

@@ -40,6 +40,7 @@ func (o Options) base(w workload) core.Config {
 		EvalEvery:       o.EvalEvery,
 		Seed:            o.Seed,
 		Parallelism:     o.Parallelism,
+		Trace:           o.Trace,
 	}
 	if o.Codec != "" {
 		cfg.Codec = comm.Spec{Name: o.Codec, Bits: o.CodecBits, TopK: o.CodecTopK}

@@ -1,5 +1,7 @@
 package experiments
 
+import "fedprox/internal/obs"
+
 // Options scales an experiment between bench-friendly miniatures and
 // paper-scale runs. The heterogeneity structure (device counts where
 // feasible, label skew, power-law allocation, straggler simulation) is
@@ -53,6 +55,13 @@ type Options struct {
 	// the latency model and the round's wire traffic).
 	VTimeDeadline   float64
 	VTimeRoundBytes int64
+	// Trace attaches an event sink (see internal/obs) to every run the
+	// experiment launches: each workload/method case streams its
+	// coordinator events — round lifecycle, dispatches, replies with
+	// disposition, folds, evals — to the same sink. Virtual-time cases
+	// stamp virtual seconds; clockless cases emit untimed events. Nil
+	// (the default) keeps tracing off.
+	Trace obs.Sink
 }
 
 // Fast returns miniature settings for benchmarks and CI: every experiment

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fedprox/internal/core"
+	"fedprox/internal/obs"
 )
 
 // This file drives the coordinator's asynchronous aggregation modes
@@ -363,6 +364,7 @@ func (d *asyncDriver) admit(reg regMsg) ([]core.Command, error) {
 		s.devices[id].conn = reg.c
 	}
 	d.startReader(reg.c)
+	s.emit(obs.Event{Kind: obs.KindWorkerJoin, N: len(ids)})
 	return cmds, nil
 }
 
@@ -372,6 +374,7 @@ func (d *asyncDriver) admit(reg regMsg) ([]core.Command, error) {
 // device lists are returned for WorkerLost delivery.
 func (d *asyncDriver) evaluate(v core.Evaluate) (core.EvalResult, [][]int, error) {
 	s := d.s
+	defer obs.StartSpan(s.trace, obs.Event{Label: "fednet-eval", Device: -1}).End()
 	var lost [][]int
 	fail := func(cs *connState) {
 		if cs.dead {

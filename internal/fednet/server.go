@@ -3,6 +3,7 @@ package fednet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"slices"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/model"
+	"fedprox/internal/obs"
 )
 
 // ServerConfig parameterizes a coordinator.
@@ -64,6 +66,12 @@ type Server struct {
 	conns   []*conn
 	devices map[int]*device // device ID -> hosting connection + size
 	weights []float64       // p_k, for combining distributed evaluations
+
+	// trace mirrors Training.Trace for transport-level events the
+	// coordinator core never sees: worker registration and the distributed
+	// evaluation span. Server events are always untimed (Time NaN) — a
+	// deployment wraps the sink in obs.WallClock for wall-clock stamps.
+	trace obs.Sink
 }
 
 type device struct {
@@ -126,7 +134,18 @@ func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
 		downSpec: down,
 		upSpec:   up,
 		devices:  make(map[int]*device),
+		trace:    cfg.Training.Trace,
 	}, nil
+}
+
+// emit reports one transport-level event. Server events carry no virtual
+// clock; Time is NaN so an obs.WallClock wrapper can stamp them.
+func (s *Server) emit(e obs.Event) {
+	if s.trace == nil {
+		return
+	}
+	e.Time = math.NaN()
+	s.trace.Emit(e)
 }
 
 // BytesOnWire returns the actual serialized bytes moved over all worker
@@ -198,6 +217,7 @@ func (s *Server) acceptAll(ln net.Listener) error {
 		if _, err := s.coord.RegisterWorker(regs); err != nil {
 			return fmt.Errorf("fednet: %w", err)
 		}
+		s.emit(obs.Event{Kind: obs.KindWorkerJoin, N: len(env.Hello.Devices)})
 		for _, d := range env.Hello.Devices {
 			s.devices[d.ID] = &device{conn: c, trainSize: d.TrainSize}
 			registered++
@@ -406,6 +426,7 @@ func (s *Server) roundTrip(c *conn, e Envelope) (Envelope, error) {
 // the metrics meaningful when the asynchronous modes lose workers
 // mid-run.
 func (s *Server) evaluate(v core.Evaluate, renormalize bool) (core.EvalResult, error) {
+	defer obs.StartSpan(s.trace, obs.Event{Label: "fednet-eval", Device: -1}).End()
 	type shardEval struct {
 		evals []DeviceEval
 		err   error

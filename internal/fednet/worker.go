@@ -11,6 +11,7 @@ import (
 	"fedprox/internal/core"
 	"fedprox/internal/data"
 	"fedprox/internal/model"
+	"fedprox/internal/obs"
 	"fedprox/internal/solver"
 )
 
@@ -30,6 +31,12 @@ type Worker struct {
 	// Hello; nil advertises every codec comm registers. The coordinator
 	// aborts the session if its configured codec is not offered.
 	Offer []string
+
+	// trace mirrors DeviceOptions.Trace: the runtime emits the per-request
+	// device events, the worker shell adds a worker-solve span around each
+	// dispatch so the wall cost of the local solve (decode + SGD + encode)
+	// is visible per device.
+	trace obs.Sink
 }
 
 // NewWorker builds a worker hosting the given shards. A nil localSolver
@@ -57,7 +64,7 @@ func NewWorkerWithOptions(mdl model.Model, shards []*data.Shard, opts core.Devic
 	if err := dev.InstallLinks(raw, raw); err != nil {
 		panic(err) // the raw spec is statically valid
 	}
-	return &Worker{dev: dev}
+	return &Worker{dev: dev, trace: opts.Trace}
 }
 
 // Run connects to the coordinator at addr, registers, and serves until
@@ -159,6 +166,7 @@ func (w *Worker) Serve(c *conn) error {
 
 // train translates one TrainRequest into a device dispatch.
 func (w *Worker) train(req *TrainRequest) TrainReply {
+	defer obs.StartSpan(w.trace, obs.Event{Label: "worker-solve", Device: req.Device}).End()
 	reply := TrainReply{Round: req.Round, Version: req.Version, Device: req.Device}
 	r, err := w.dev.HandleDispatch(core.Dispatch{
 		Round:        req.Round,

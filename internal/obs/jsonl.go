@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// JSONL writes one JSON object per event, newline-terminated — the
+// `-trace out.jsonl` format of the cmds. The encoder is hand-rolled
+// against a fixed per-kind field schema (no reflection, no maps), so
+// for a deterministic event stream the output is byte-stable: two
+// same-seed vtime runs produce byte-identical trace files, and the
+// trace-determinism tests hold the encoder to that.
+//
+// Writes are mutex-serialized (device runtimes emit from concurrent
+// goroutines). The first write error latches and silences the sink;
+// check Err after the run — a trace is diagnostics, not control flow,
+// so a full disk must not abort training.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w. Callers own w's
+// lifecycle (and any buffering/flushing around it).
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Emit encodes and writes one event.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.buf = AppendEvent(j.buf[:0], e)
+	if _, err := j.w.Write(j.buf); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// AppendEvent appends e's JSONL line (including the trailing newline)
+// to buf. The field set and order per kind is the trace schema —
+// documented in the README's Observability section — and is fixed:
+// every field a kind lists is always present (values are deterministic
+// given a seed), except fields whose absence is part of the schema
+// ("t", "rel", and "secs" are omitted when NaN — clockless runs — and
+// a span's "device" is omitted when negative).
+func AppendEvent(buf []byte, e Event) []byte {
+	buf = append(buf, `{"kind":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, '"')
+	if !math.IsNaN(e.Time) {
+		buf = appendFloat(buf, "t", e.Time)
+	}
+	switch e.Kind {
+	case KindRunStart:
+		buf = appendString(buf, "label", e.Label)
+		buf = appendInt(buf, "n", e.N)
+	case KindRoundOpen:
+		buf = appendInt(buf, "round", e.Round)
+		buf = appendInt(buf, "n", e.N)
+	case KindDispatch:
+		buf = appendInt(buf, "round", e.Round)
+		buf = appendInt(buf, "seq", e.Seq)
+		buf = appendInt(buf, "device", e.Device)
+		buf = appendInt(buf, "version", e.Version)
+		buf = appendInt(buf, "epochs", e.Epochs)
+		buf = appendInt(buf, "budget", e.Budget)
+		buf = appendInt64(buf, "down", e.BytesDown)
+	case KindReply:
+		buf = appendInt(buf, "seq", e.Seq)
+		buf = appendInt(buf, "device", e.Device)
+		buf = appendInt(buf, "version", e.Version)
+		buf = appendInt(buf, "stale", e.Staleness)
+		buf = appendInt(buf, "done", e.EpochsDone)
+		buf = appendInt64(buf, "up", e.BytesUp)
+		buf = appendInt64(buf, "down", e.BytesDown)
+		if !math.IsNaN(e.Seconds) {
+			buf = appendFloat(buf, "rel", e.Seconds)
+		}
+		buf = appendString(buf, "drop", e.Disposition)
+	case KindDrop:
+		buf = appendInt(buf, "round", e.Round)
+		buf = appendInt(buf, "device", e.Device)
+		buf = appendString(buf, "drop", e.Disposition)
+	case KindFold:
+		buf = appendInt(buf, "round", e.Round)
+		buf = appendInt(buf, "version", e.Version)
+		buf = appendInt(buf, "n", e.N)
+	case KindRoundClose:
+		buf = appendInt(buf, "round", e.Round)
+		buf = appendInt(buf, "n", e.N)
+		if !math.IsNaN(e.Seconds) {
+			buf = appendFloat(buf, "secs", e.Seconds)
+		}
+	case KindEval:
+		buf = appendInt(buf, "round", e.Round)
+		buf = appendFloat(buf, "loss", e.Loss)
+		buf = appendFloat(buf, "acc", e.Acc)
+	case KindCheckpoint:
+		buf = appendInt(buf, "round", e.Round)
+	case KindWorkerJoin:
+		buf = appendInt(buf, "n", e.N)
+	case KindWorkerLost, KindWorkerReadmit:
+		buf = appendInt(buf, "device", e.Device)
+	case KindDeviceDispatch:
+		buf = appendInt(buf, "round", e.Round)
+		buf = appendInt(buf, "seq", e.Seq)
+		buf = appendInt(buf, "device", e.Device)
+		buf = appendInt(buf, "done", e.EpochsDone)
+		buf = appendInt64(buf, "up", e.BytesUp)
+		buf = appendInt64(buf, "down", e.BytesDown)
+	case KindDeviceEval:
+		buf = appendInt(buf, "seq", e.Seq)
+		buf = appendInt(buf, "n", e.N)
+	case KindSpan:
+		buf = appendString(buf, "label", e.Label)
+		if e.Device >= 0 {
+			buf = appendInt(buf, "device", e.Device)
+		}
+		if !math.IsNaN(e.Seconds) {
+			buf = appendFloat(buf, "secs", e.Seconds)
+		}
+	case KindRunDone:
+		// kind and time only
+	}
+	return append(buf, '}', '\n')
+}
+
+func appendKey(buf []byte, key string) []byte {
+	buf = append(buf, ',', '"')
+	buf = append(buf, key...)
+	return append(buf, '"', ':')
+}
+
+func appendInt(buf []byte, key string, v int) []byte {
+	return strconv.AppendInt(appendKey(buf, key), int64(v), 10)
+}
+
+func appendInt64(buf []byte, key string, v int64) []byte {
+	return strconv.AppendInt(appendKey(buf, key), v, 10)
+}
+
+// appendFloat renders v in the shortest round-trip form ('g', -1 — the
+// same value always renders the same bytes). JSON has no NaN or
+// infinity literals; callers omit NaN-able fields, and any that slip
+// through become null rather than corrupt the line.
+func appendFloat(buf []byte, key string, v float64) []byte {
+	buf = appendKey(buf, key)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(buf, "null"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendString quotes v with strconv (valid JSON for any UTF-8 input).
+func appendString(buf []byte, key string, v string) []byte {
+	return strconv.AppendQuote(appendKey(buf, key), v)
+}

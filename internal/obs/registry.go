@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is the in-memory counter/gauge/histogram sink behind the
+// cmds' -debug-addr /metrics endpoint. It maps the event vocabulary to
+// a fixed set of fedprox_* metrics and renders them in the Prometheus
+// text exposition format (version 0.0.4) — hand-written, stdlib-only,
+// so the package stays dependency-free.
+//
+// The event mapping is the observable protocol surface: rounds,
+// dispatches, reply dispositions, drop reasons, bytes up/down, realized
+// epochs, staleness, workers lost/re-admitted, checkpoints, and span
+// durations. Callers needing ad-hoc metrics can use Add/Set/Observe
+// directly; everything shares one render path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*family
+	gauges   map[string]*family
+	hists    map[string]*histFamily
+}
+
+// family is one metric name's label→value map plus its HELP text.
+type family struct {
+	help string
+	vals map[string]float64
+}
+
+type histFamily struct {
+	help string
+	le   []float64 // upper bounds, ascending, +Inf implicit
+	vals map[string]*histogram
+}
+
+type histogram struct {
+	counts []uint64 // one per le bound, plus +Inf at the end
+	sum    float64
+	count  uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*family),
+		gauges:   make(map[string]*family),
+		hists:    make(map[string]*histFamily),
+	}
+}
+
+// stalenessBuckets cover the damping regimes of alpha/(1+s)^p: fresh,
+// near-fresh, and the long tail a straggler-heavy run produces.
+var stalenessBuckets = []float64{0, 1, 2, 4, 8, 16, 32}
+
+// secondsBuckets cover span and round durations from sub-millisecond
+// solves to multi-minute rounds.
+var secondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// Emit maps one event onto the fedprox_* metric set.
+func (r *Registry) Emit(e Event) {
+	switch e.Kind {
+	case KindRunStart:
+		r.Add("fedprox_runs_total", "Runs started.", "", 1)
+		r.Set("fedprox_devices", "Devices registered at run start.", "", float64(e.N))
+	case KindRoundOpen:
+		r.Set("fedprox_round", "Current communication round.", "", float64(e.Round))
+	case KindDispatch:
+		r.Add("fedprox_dispatches_total", "Training dispatches sent.", "", 1)
+		r.Add("fedprox_downlink_bytes_total", "Broadcast bytes down, per dispatch.", "", float64(e.BytesDown))
+	case KindReply:
+		disp := labels("disposition", e.Disposition)
+		r.Add("fedprox_replies_total", "Device replies by coordinator disposition.", disp, 1)
+		r.Add("fedprox_uplink_bytes_total", "Reply bytes up.", "", float64(e.BytesUp))
+		if e.Disposition == "folded" {
+			r.Add("fedprox_epochs_done_total", "Local epochs folded into the model.", "", float64(e.EpochsDone))
+			if e.Staleness >= 0 {
+				r.Observe("fedprox_staleness", "Model-version staleness of folded replies.", "", stalenessBuckets, float64(e.Staleness))
+			}
+		} else {
+			r.Add("fedprox_drops_total", "Replies discarded, by reason.", labels("reason", e.Disposition), 1)
+		}
+	case KindDrop:
+		r.Add("fedprox_drops_total", "Replies discarded, by reason.", labels("reason", e.Disposition), 1)
+	case KindFold:
+		r.Add("fedprox_folds_total", "Model advances.", "", 1)
+		r.Set("fedprox_model_version", "Current global model version.", "", float64(e.Version))
+	case KindRoundClose:
+		r.Add("fedprox_rounds_total", "Rounds (or async milestones) completed.", "", 1)
+		if !math.IsNaN(e.Seconds) {
+			r.Observe("fedprox_round_seconds", "Round critical-path duration.", "", secondsBuckets, e.Seconds)
+		}
+	case KindEval:
+		r.Add("fedprox_evals_total", "Global evaluations recorded.", "", 1)
+		r.Set("fedprox_train_loss", "Last evaluated global training loss.", "", e.Loss)
+		r.Set("fedprox_test_acc", "Last evaluated test accuracy.", "", e.Acc)
+	case KindCheckpoint:
+		r.Add("fedprox_checkpoints_total", "Checkpoints persisted.", "", 1)
+	case KindWorkerJoin:
+		r.Add("fedprox_worker_joins_total", "Worker connections admitted.", "", 1)
+	case KindWorkerLost:
+		r.Add("fedprox_workers_lost_total", "Devices evicted with dead workers.", "", 1)
+	case KindWorkerReadmit:
+		r.Add("fedprox_workers_readmitted_total", "Evicted devices re-admitted.", "", 1)
+	case KindDeviceDispatch:
+		r.Add("fedprox_device_dispatches_total", "Dispatches served by the device runtime.", "", 1)
+		r.Add("fedprox_device_epochs_total", "Local epochs run by the device runtime.", "", float64(e.EpochsDone))
+		r.Add("fedprox_device_uplink_bytes_total", "Device-side reply bytes up.", "", float64(e.BytesUp))
+		r.Add("fedprox_device_downlink_bytes_total", "Device-side broadcast bytes down.", "", float64(e.BytesDown))
+	case KindDeviceEval:
+		r.Add("fedprox_device_evals_total", "Eval broadcasts served by the device runtime.", "", 1)
+	case KindSpan:
+		r.Observe("fedprox_span_seconds", "Measured section durations.", labels("span", e.Label), secondsBuckets, e.Seconds)
+	case KindRunDone:
+		r.Add("fedprox_runs_completed_total", "Runs completed.", "", 1)
+	}
+}
+
+// labels renders a single key="value" label pair.
+func labels(key, value string) string {
+	return key + `="` + strings.ReplaceAll(value, `"`, `\"`) + `"`
+}
+
+// Add increments the counter name{labels} by v, registering it (with
+// help) on first use.
+func (r *Registry) Add(name, help, labels string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.counters[name]
+	if fam == nil {
+		fam = &family{help: help, vals: make(map[string]float64)}
+		r.counters[name] = fam
+	}
+	fam.vals[labels] += v
+}
+
+// Set sets the gauge name{labels} to v.
+func (r *Registry) Set(name, help, labels string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.gauges[name]
+	if fam == nil {
+		fam = &family{help: help, vals: make(map[string]float64)}
+		r.gauges[name] = fam
+	}
+	fam.vals[labels] = v
+}
+
+// Observe records v into the histogram name{labels} with the given
+// upper bounds (ascending; +Inf is implicit). The bounds are fixed at
+// first use per name.
+func (r *Registry) Observe(name, help, labels string, le []float64, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.hists[name]
+	if fam == nil {
+		fam = &histFamily{help: help, le: le, vals: make(map[string]*histogram)}
+		r.hists[name] = fam
+	}
+	h := fam.vals[labels]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(fam.le)+1)}
+		fam.vals[labels] = h
+	}
+	i := sort.SearchFloat64s(fam.le, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Render returns the registry in the Prometheus text exposition
+// format, families and label sets in sorted order (deterministic
+// output for tests and diffing).
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if fam, ok := r.counters[name]; ok {
+			renderFamily(&b, name, "counter", fam)
+		} else if fam, ok := r.gauges[name]; ok {
+			renderFamily(&b, name, "gauge", fam)
+		} else {
+			renderHist(&b, name, r.hists[name])
+		}
+	}
+	return b.String()
+}
+
+func renderFamily(b *strings.Builder, name, typ string, fam *family) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, fam.help, name, typ)
+	for _, ls := range sortedKeys(fam.vals) {
+		b.WriteString(name)
+		if ls != "" {
+			b.WriteString("{" + ls + "}")
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatValue(fam.vals[ls]))
+		b.WriteByte('\n')
+	}
+}
+
+func renderHist(b *strings.Builder, name string, fam *histFamily) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, fam.help, name, "histogram")
+	ls := make([]string, 0, len(fam.vals))
+	for l := range fam.vals {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	for _, l := range ls {
+		h := fam.vals[l]
+		var cum uint64
+		for i, bound := range fam.le {
+			cum += h.counts[i]
+			b.WriteString(name + "_bucket{" + joinLabels(l, `le="`+formatValue(bound)+`"`) + "} ")
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteByte('\n')
+		}
+		cum += h.counts[len(fam.le)]
+		b.WriteString(name + "_bucket{" + joinLabels(l, `le="+Inf"`) + "} " + strconv.FormatUint(cum, 10) + "\n")
+		suffix := ""
+		if l != "" {
+			suffix = "{" + l + "}"
+		}
+		b.WriteString(name + "_sum" + suffix + " " + formatValue(h.sum) + "\n")
+		b.WriteString(name + "_count" + suffix + " " + strconv.FormatUint(h.count, 10) + "\n")
+	}
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP serves the rendered registry — mount at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(r.Render()))
+}
+
+// Debug returns the handler the cmds mount on -debug-addr: the
+// registry at /metrics and the runtime profiles (CPU, heap, goroutine,
+// trace) under /debug/pprof/. A nil registry serves pprof only.
+func Debug(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	if r != nil {
+		mux.Handle("/metrics", r)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

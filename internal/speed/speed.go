@@ -1,0 +1,124 @@
+// Package speed holds the repository's gated hot-path micro-benchmarks
+// as plain functions over *testing.B, so two harnesses can share one
+// body: the `go test -bench` suite (bench_test.go delegates here) and
+// cmd/fedspeed, which runs them via testing.Benchmark to regenerate and
+// gate the committed BENCH_speed.json (see internal/obs.BenchPoint).
+//
+// Only mechanism benchmarks belong here — code on the per-reply or
+// per-dispatch hot path whose ns/op is meaningful in isolation. Whole
+// experiment benchmarks stay in bench_test.go; their headline number is
+// model quality, gated by BENCH_baseline.json instead.
+package speed
+
+import (
+	"testing"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/core"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/frand"
+	"fedprox/internal/model/linear"
+)
+
+// Benchmarks enumerates the gated benchmarks by the stable names used in
+// BENCH_speed.json.
+var Benchmarks = []struct {
+	Name string
+	Fn   func(*testing.B)
+}{
+	{"CoordinatorFold", CoordinatorFold},
+	{"DeviceDispatch", DeviceDispatch},
+}
+
+// CoordinatorFold measures the coordinator's staleness-damped fold
+// (core.FoldStaleDeltas) — the arithmetic every asynchronous reply
+// crosses on its way into the global model, shared by the fednet runtime
+// and the virtual-time simulator. The workload is one FedBuff-style
+// flush: K buffered deltas of a 10k-parameter model at mixed staleness.
+func CoordinatorFold(b *testing.B) {
+	const dim, k = 10_000, 10
+	rng := frand.New(11)
+	w := rng.NormVec(make([]float64, dim), 0, 1)
+	batch := make([]core.StaleDelta, k)
+	for i := range batch {
+		batch[i] = core.StaleDelta{
+			Delta:   rng.NormVec(make([]float64, dim), 0, 0.01),
+			Weight:  float64(100 + 10*i),
+			Version: i / 2, // mixed staleness against version k
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(8 * dim * k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.FoldStaleDeltas(w, batch, k, core.UniformWeightedAvg, 1, 0.5) {
+			b.Fatal("fold did not advance the model")
+		}
+	}
+}
+
+// DeviceDispatch measures the device runtime's full dispatch hot path —
+// downlink decode, local solve, uplink encode on a stateful chained
+// codec — the per-contact work every executor (simulator, vtime driver,
+// fednet worker) performs through the same core.Device. The
+// coordinator's half (broadcast encode) runs outside the timer.
+func DeviceDispatch(b *testing.B) {
+	fed := synthetic.Generate(synthetic.Default(1, 1).Scaled(0.1))
+	mdl := linear.ForDataset(fed)
+	shard := fed.Shards[0]
+	spec := comm.Spec{Name: "delta+qsgd", Bits: 8, Seed: 11}.WithDefaults()
+
+	dev := core.NewDevice(mdl, fed.Shards[:1], core.DeviceOptions{})
+	if err := dev.InstallLinks(spec, spec); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := comm.NewLinkState(spec, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := frand.New(3)
+	wt := mdl.InitParams(rng.Split("params"))
+
+	// Pre-encode b.N broadcasts (the coordinator's job) so the timed
+	// loop holds only device-side work. Each broadcast is perturbed so
+	// the delta chain never degenerates.
+	updates := make([]*comm.Update, b.N)
+	seeds := make([]uint64, b.N)
+	for i := 0; i < b.N; i++ {
+		enc, _, err := srv.Link(shard.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev := srv.Prev(shard.ID)
+		u := enc.Encode(wt, prev)
+		view, err := enc.Decode(u, prev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.SetPrev(shard.ID, view)
+		updates[i] = u
+		seeds[i] = rng.SplitIndex(i).State()
+		for j := range wt {
+			wt[j] += 1e-3
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := dev.HandleDispatch(core.Dispatch{
+			Device:       shard.ID,
+			Epochs:       1,
+			Mu:           1,
+			LearningRate: 0.01,
+			BatchSize:    10,
+			BatchSeed:    seeds[i],
+			Update:       updates[i],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Update == nil || r.EpochsDone != 1 {
+			b.Fatal("device dispatch produced no encoded update")
+		}
+	}
+}
