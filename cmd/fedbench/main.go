@@ -14,14 +14,13 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"fedprox/internal/cli"
 	"fedprox/internal/experiments"
-	"fedprox/internal/obs"
 )
 
 func main() {
@@ -32,23 +31,22 @@ func main() {
 		series    = flag.Bool("series", false, "print full per-round series, not just the summary")
 		csvPath   = flag.String("csv", "", "also write every evaluated point as CSV to this file")
 		jsonPath  = flag.String("json", "", "write machine-readable run summaries (BENCH_*.json) to this file")
-		tracePath = flag.String("trace", "", "stream a JSONL event trace of every run to this file (see internal/obs)")
 		baseline  = flag.String("baseline", "", "compare against a committed BENCH_*.json and exit non-zero on loss regressions")
 		tolerance = flag.Float64("tolerance", 0.05, "relative final-loss budget for -baseline (0.05 = 5%)")
 		datasets  = flag.String("datasets", "", "comma-separated subset of synthetic,mnist,femnist,shakespeare,sent140")
 		rounds    = flag.Int("rounds", 0, "override communication rounds for convex workloads")
 		seed      = flag.Uint64("seed", 0, "override environment seed")
 		scale     = flag.Float64("scale", 0, "override dataset scale factor")
-		codec     = flag.String("codec", "", "apply a model-update codec to every run (see internal/comm)")
-		downCdc   = flag.String("downlink-codec", "", "override -codec on the broadcast direction")
-		bits      = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
-		topk      = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
-		asyncA    = flag.Float64("async-alpha", 0, "ext-async/ext-vtime base mixing rate (0 = core default)")
-		asyncP    = flag.Float64("async-staleness-exp", 0, "ext-async/ext-vtime staleness damping exponent (0 = core default, negative = no damping)")
-		asyncK    = flag.Int("async-buffer-k", 0, "ext-async/ext-vtime buffered flush size (0 = clients per round)")
-		vtDead    = flag.Float64("vtime-deadline", 0, "ext-vtime sync-deadline policy in virtual seconds (0 = derive from the latency model)")
-		vtBytes   = flag.Int64("vtime-round-bytes", 0, "ext-vtime sync-budget policy in wire bytes per round (0 = ~70% of a full round)")
+
+		codecFlags cli.Codec
+		asyncFlags cli.Async
+		vtimeFlags cli.VTime
+		traceFlags cli.Trace
 	)
+	codecFlags.Register(flag.CommandLine)
+	asyncFlags.RegisterOverrides(flag.CommandLine)
+	vtimeFlags.Register(flag.CommandLine)
+	traceFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -80,19 +78,19 @@ func main() {
 	if *scale > 0 {
 		opts.Scale = *scale
 	}
-	if *codec == "" && (*downCdc != "" || *bits != 0 || *topk != 0) {
-		fmt.Fprintln(os.Stderr, "fedbench: -downlink-codec, -bits, and -topk require -codec")
+	if err := codecFlags.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
 		os.Exit(2)
 	}
-	opts.Codec = *codec
-	opts.DownlinkCodec = *downCdc
-	opts.CodecBits = *bits
-	opts.CodecTopK = *topk
-	opts.AsyncAlpha = *asyncA
-	opts.AsyncStalenessExp = *asyncP
-	opts.AsyncBufferK = *asyncK
-	opts.VTimeDeadline = *vtDead
-	opts.VTimeRoundBytes = *vtBytes
+	opts.Codec = codecFlags.Name
+	opts.DownlinkCodec = codecFlags.Downlink
+	opts.CodecBits = codecFlags.Bits
+	opts.CodecTopK = codecFlags.TopK
+	opts.AsyncAlpha = asyncFlags.Alpha
+	opts.AsyncStalenessExp = asyncFlags.StalenessExp
+	opts.AsyncBufferK = asyncFlags.BufferK
+	opts.VTimeDeadline = vtimeFlags.Deadline
+	opts.VTimeRoundBytes = vtimeFlags.RoundBytes
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -101,29 +99,13 @@ func main() {
 
 	// closeTrace finalizes the -trace file; main's os.Exit error paths
 	// bypass defers, so it runs explicitly once the runs are done.
-	closeTrace := func() {}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
-			os.Exit(1)
-		}
-		w := bufio.NewWriterSize(f, 1<<16)
-		j := obs.NewJSONL(w)
-		opts.Trace = j
-		closeTrace = func() {
-			err := j.Err()
-			if ferr := w.Flush(); err == nil {
-				err = ferr
-			}
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "fedbench: trace: %v\n", err)
-				os.Exit(1)
-			}
-		}
+	trace, closeTrace, err := traceFlags.Open()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+		os.Exit(1)
+	}
+	if trace != nil {
+		opts.Trace = trace
 	}
 
 	var csvFile *os.File
@@ -156,7 +138,10 @@ func main() {
 		}
 		entries = append(entries, res.BenchEntries()...)
 	}
-	closeTrace()
+	if err := closeTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)

@@ -15,35 +15,32 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 
+	"fedprox/internal/cli"
 	"fedprox/internal/data/datafile"
 	"fedprox/internal/experiments"
-	"fedprox/internal/obs"
 	"fedprox/internal/syshet"
 )
 
 func main() {
 	var (
-		workload  = flag.String("workload", "synthetic", "workload key: synthetic, synthetic-iid, mnist, femnist, shakespeare, sent140")
-		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
-		out       = flag.String("out", "", "output path (required unless -verify or -vtime)")
-		verify    = flag.String("verify", "", "verify an existing dataset file and print its stats")
-		vtimeP    = flag.Bool("vtime", false, "print the workload's virtual-time latency profile instead of writing a file")
-		epochs    = flag.Int("epochs", 20, "-vtime: local epoch budget E to profile")
-		seed      = flag.Uint64("seed", 7, "-vtime: fleet assignment seed")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof on this address while generating (profile large -scale runs)")
+		workload = flag.String("workload", "synthetic", "workload key: synthetic, synthetic-iid, mnist, femnist, shakespeare, sent140")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		out      = flag.String("out", "", "output path (required unless -verify or -vtime)")
+		verify   = flag.String("verify", "", "verify an existing dataset file and print its stats")
+		vtimeP   = flag.Bool("vtime", false, "print the workload's virtual-time latency profile instead of writing a file")
+		epochs   = flag.Int("epochs", 20, "-vtime: local epoch budget E to profile")
+		seed     = flag.Uint64("seed", 7, "-vtime: fleet assignment seed")
+
+		debugFlags cli.Debug
 	)
+	debugFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *debugAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, obs.Debug(nil)); err != nil {
-				fmt.Fprintf(os.Stderr, "fedgen: debug server: %v\n", err)
-			}
-		}()
-	}
+	// fedgen has no event stream to aggregate; the endpoint serves pprof
+	// only (profile large -scale generations).
+	debugFlags.Serve("fedgen", false)
 
 	if *verify != "" {
 		fed, err := datafile.ReadFile(*verify)

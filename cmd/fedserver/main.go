@@ -19,14 +19,11 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
-	"strings"
 
-	"fedprox/internal/comm"
+	"fedprox/internal/cli"
 	"fedprox/internal/core"
 	"fedprox/internal/experiments"
 	"fedprox/internal/fednet"
@@ -35,30 +32,28 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":7070", "listen address")
-		workload    = flag.String("workload", "synthetic", "workload key: synthetic, synthetic-iid, mnist, femnist, shakespeare, sent140")
-		scale       = flag.Float64("scale", 0.25, "dataset scale factor (must match workers)")
-		rounds      = flag.Int("rounds", 50, "communication rounds")
-		clients     = flag.Int("clients", 10, "devices selected per round (K)")
-		epochs      = flag.Int("epochs", 20, "local epochs (E)")
-		mu          = flag.Float64("mu", 1, "proximal coefficient")
-		stragglers  = flag.Float64("stragglers", 0.5, "straggler fraction per round")
-		drop        = flag.Bool("drop", false, "drop stragglers (FedAvg) instead of aggregating partial work")
-		evalEvery   = flag.Int("eval-every", 5, "evaluation interval in rounds")
-		seed        = flag.Uint64("seed", 7, "environment seed (must match workers' -data-seed usage)")
-		codec       = flag.String("codec", "", "model-update codec: "+strings.Join(comm.Names(), ", ")+" (empty = uncompressed)")
-		downCodec   = flag.String("downlink-codec", "", "override -codec on the broadcast direction (e.g. raw under -codec topk)")
-		bits        = flag.Int("bits", 0, "qsgd bit width (0 = comm default)")
-		topk        = flag.Float64("topk", 0, "topk kept fraction (0 = comm default)")
-		asyncMode   = flag.String("async", "", "aggregation discipline: empty/sync (lock-step rounds), async (fold replies on arrival), buffered (flush every -buffer-k replies)")
-		alpha       = flag.Float64("alpha", 0, "async base mixing rate in (0,1] (0 = default)")
-		stalExp     = flag.Float64("staleness-exp", 0, "async staleness damping exponent p in alpha/(1+s)^p (0 = default, negative = no damping)")
-		bufferK     = flag.Int("buffer-k", 0, "buffered mode: replies per flush (0 = -clients)")
-		maxInFlight = flag.Int("max-in-flight", 0, "async modes: concurrently outstanding train requests (0 = -clients)")
-		reqTimeout  = flag.Duration("request-timeout", 0, "per-reply timeout before a worker is declared dead (0 = wait forever)")
-		tracePath   = flag.String("trace", "", "stream a wall-clock-stamped JSONL event trace to this file (see internal/obs)")
-		debugAddr   = flag.String("debug-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		addr       = flag.String("addr", ":7070", "listen address")
+		workload   = flag.String("workload", "synthetic", "workload key: synthetic, synthetic-iid, mnist, femnist, shakespeare, sent140")
+		scale      = flag.Float64("scale", 0.25, "dataset scale factor (must match workers)")
+		rounds     = flag.Int("rounds", 50, "communication rounds")
+		clients    = flag.Int("clients", 10, "devices selected per round (K)")
+		epochs     = flag.Int("epochs", 20, "local epochs (E)")
+		mu         = flag.Float64("mu", 1, "proximal coefficient")
+		stragglers = flag.Float64("stragglers", 0.5, "straggler fraction per round")
+		drop       = flag.Bool("drop", false, "drop stragglers (FedAvg) instead of aggregating partial work")
+		evalEvery  = flag.Int("eval-every", 5, "evaluation interval in rounds")
+		seed       = flag.Uint64("seed", 7, "environment seed (must match workers' -data-seed usage)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-reply timeout before a worker is declared dead (0 = wait forever)")
+
+		codecFlags cli.Codec
+		asyncFlags cli.Async
+		traceFlags cli.Trace
+		debugFlags cli.Debug
 	)
+	codecFlags.Register(flag.CommandLine)
+	asyncFlags.Register(flag.CommandLine)
+	traceFlags.Register(flag.CommandLine)
+	debugFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -75,29 +70,11 @@ func main() {
 	if *drop {
 		cfg.Straggler = core.DropStragglers
 	}
-	if *codec == "" && (*downCodec != "" || *bits != 0 || *topk != 0) {
-		fail(fmt.Errorf("-downlink-codec, -bits, and -topk require -codec"))
+	if err := codecFlags.Apply(&cfg); err != nil {
+		fail(err)
 	}
-	if *codec != "" {
-		cfg.Codec = comm.Spec{Name: *codec, Bits: *bits, TopK: *topk}
-		if *downCodec != "" {
-			cfg.DownlinkCodec = comm.Spec{Name: *downCodec, Bits: *bits, TopK: *topk}
-		}
-	}
-	switch *asyncMode {
-	case "", "sync":
-		if *alpha != 0 || *stalExp != 0 || *bufferK != 0 || *maxInFlight != 0 {
-			fail(fmt.Errorf("-alpha, -staleness-exp, -buffer-k, and -max-in-flight require -async"))
-		}
-	case "async":
-		if *bufferK != 0 {
-			fail(fmt.Errorf("-buffer-k applies only to -async buffered"))
-		}
-		cfg.Async = core.AsyncConfig{Mode: core.AsyncTotal, Alpha: *alpha, StalenessExponent: *stalExp, MaxInFlight: *maxInFlight}
-	case "buffered":
-		cfg.Async = core.AsyncConfig{Mode: core.Buffered, Alpha: *alpha, StalenessExponent: *stalExp, BufferK: *bufferK, MaxInFlight: *maxInFlight}
-	default:
-		fail(fmt.Errorf("unknown -async mode %q (sync, async, buffered)", *asyncMode))
+	if cfg.Async, err = asyncFlags.Config(); err != nil {
+		fail(err)
 	}
 	if cfg.Async.Enabled() && *drop {
 		// The asynchronous modes have no round deadline to drop anyone
@@ -112,37 +89,15 @@ func main() {
 	// transport (no virtual clock), so WallClock stamps them with seconds
 	// since process start.
 	var sinks []obs.Sink
-	closeTrace := func() {}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fail(err)
-		}
-		bw := bufio.NewWriterSize(f, 1<<16)
-		j := obs.NewJSONL(bw)
-		sinks = append(sinks, j)
-		closeTrace = func() {
-			err := j.Err()
-			if ferr := bw.Flush(); err == nil {
-				err = ferr
-			}
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				fail(fmt.Errorf("trace: %w", err))
-			}
-		}
+	trace, closeTrace, err := traceFlags.Open()
+	if err != nil {
+		fail(err)
 	}
-	var reg *obs.Registry
-	if *debugAddr != "" {
-		reg = obs.NewRegistry()
+	if trace != nil {
+		sinks = append(sinks, trace)
+	}
+	if reg := debugFlags.Serve("fedserver", true); reg != nil {
 		sinks = append(sinks, reg)
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, obs.Debug(reg)); err != nil {
-				fmt.Fprintf(os.Stderr, "fedserver: debug server: %v\n", err)
-			}
-		}()
 	}
 	cfg.Trace = obs.WallClock(obs.Multi(sinks...))
 
@@ -163,7 +118,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	closeTrace()
+	if err := closeTrace(); err != nil {
+		fail(err)
+	}
 	fmt.Print(hist)
 	c := hist.Final().Cost
 	read, written := srv.BytesOnWire()

@@ -7,13 +7,12 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strings"
 
+	"fedprox/internal/cli"
 	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/data"
@@ -27,20 +26,23 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "localhost:7070", "coordinator address")
-		workload  = flag.String("workload", "synthetic", "workload key (must match the server)")
-		scale     = flag.Float64("scale", 0.25, "dataset scale factor (must match the server)")
-		dataPath  = flag.String("data", "", "load the federated dataset from a fedgen file instead of regenerating")
-		workers   = flag.Int("workers", 1, "total number of workers in the deployment")
-		index     = flag.Int("index", 0, "this worker's index in [0, workers)")
-		local     = flag.String("solver", "sgd", "local solver: sgd, momentum, adagrad, adam, gd")
-		codec     = flag.String("codec", "", "restrict the offered update codecs to this comma-separated list (default: all of "+strings.Join(comm.Names(), ", ")+")")
-		privClip  = flag.Float64("privacy-clip", 0, "update-level DP: L2 clip bound on each local update delta (0 disables clipping)")
-		privStd   = flag.Float64("privacy-noise", 0, "update-level DP: Gaussian noise std added per coordinate of the delta (0 disables noise)")
-		privSeed  = flag.Uint64("privacy-seed", 0, "seed of the DP noise streams (with -privacy-noise)")
-		tracePath = flag.String("trace", "", "stream a wall-clock-stamped JSONL trace of device events to this file (see internal/obs)")
-		debugAddr = flag.String("debug-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. localhost:6061)")
+		addr     = flag.String("addr", "localhost:7070", "coordinator address")
+		workload = flag.String("workload", "synthetic", "workload key (must match the server)")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor (must match the server)")
+		dataPath = flag.String("data", "", "load the federated dataset from a fedgen file instead of regenerating")
+		workers  = flag.Int("workers", 1, "total number of workers in the deployment")
+		index    = flag.Int("index", 0, "this worker's index in [0, workers)")
+		local    = flag.String("solver", "sgd", "local solver: sgd, momentum, adagrad, adam, gd")
+		codec    = flag.String("codec", "", "restrict the offered update codecs to this comma-separated list (default: all of "+strings.Join(comm.Names(), ", ")+")")
+		privClip = flag.Float64("privacy-clip", 0, "update-level DP: L2 clip bound on each local update delta (0 disables clipping)")
+		privStd  = flag.Float64("privacy-noise", 0, "update-level DP: Gaussian noise std added per coordinate of the delta (0 disables noise)")
+		privSeed = flag.Uint64("privacy-seed", 0, "seed of the DP noise streams (with -privacy-noise)")
+
+		traceFlags cli.Trace
+		debugFlags cli.Debug
 	)
+	traceFlags.Register(flag.CommandLine)
+	debugFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *index < 0 || *index >= *workers {
 		fail(fmt.Errorf("index %d outside [0,%d)", *index, *workers))
@@ -78,36 +80,15 @@ func main() {
 	// aggregate into the -debug-addr /metrics registry. Device events are
 	// always untimed; WallClock stamps seconds since process start.
 	var sinks []obs.Sink
-	closeTrace := func() {}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fail(err)
-		}
-		bw := bufio.NewWriterSize(f, 1<<16)
-		j := obs.NewJSONL(bw)
-		sinks = append(sinks, j)
-		closeTrace = func() {
-			err := j.Err()
-			if ferr := bw.Flush(); err == nil {
-				err = ferr
-			}
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				fail(fmt.Errorf("trace: %w", err))
-			}
-		}
+	trace, closeTrace, err := traceFlags.Open()
+	if err != nil {
+		fail(err)
 	}
-	if *debugAddr != "" {
-		reg := obs.NewRegistry()
+	if trace != nil {
+		sinks = append(sinks, trace)
+	}
+	if reg := debugFlags.Serve("fedworker", true); reg != nil {
 		sinks = append(sinks, reg)
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, obs.Debug(reg)); err != nil {
-				fmt.Fprintf(os.Stderr, "fedworker: debug server: %v\n", err)
-			}
-		}()
 	}
 	devOpts.Trace = obs.WallClock(obs.Multi(sinks...))
 	if *privClip > 0 || *privStd > 0 {
@@ -137,7 +118,9 @@ func main() {
 	if err := wk.Run(*addr); err != nil {
 		fail(err)
 	}
-	closeTrace()
+	if err := closeTrace(); err != nil {
+		fail(err)
+	}
 	fmt.Printf("fedworker %d: shut down cleanly\n", *index)
 }
 

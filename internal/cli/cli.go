@@ -1,0 +1,210 @@
+// Package cli defines the flag groups the fedprox command-line tools
+// share, each exactly once: the codec selection (-codec,
+// -downlink-codec, -bits, -topk), the asynchronous-aggregation knobs
+// (-async, -alpha, -staleness-exp, -buffer-k, -max-in-flight and the
+// fedbench "-async-*" override spellings), the virtual-time policy
+// overrides (-vtime-deadline, -vtime-round-bytes), the -trace JSONL
+// sink, and the -debug-addr metrics/pprof endpoint.
+//
+// Before this package, cmd/fedbench and cmd/fedserver each re-declared
+// the codec flags with their own help strings and their own "-bits
+// requires -codec" checks, and the trace-file open/flush/close dance
+// was pasted into three mains; the versions drifted one flag at a time.
+// Here a command embeds the groups it serves, calls Register on its
+// FlagSet, and gets identical semantics (and identical error messages)
+// to every other command by construction.
+package cli
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/core"
+	"fedprox/internal/obs"
+)
+
+// Codec is the model-update codec flag group: -codec, -downlink-codec,
+// -bits, -topk.
+type Codec struct {
+	Name     string
+	Downlink string
+	Bits     int
+	TopK     float64
+}
+
+// Register declares the group's flags on fs.
+func (c *Codec) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Name, "codec", "", "model-update codec: "+strings.Join(comm.Names(), ", ")+" (empty = uncompressed)")
+	fs.StringVar(&c.Downlink, "downlink-codec", "", "override -codec on the broadcast direction (e.g. raw under -codec topk)")
+	fs.IntVar(&c.Bits, "bits", 0, "qsgd bit width (0 = comm default)")
+	fs.Float64Var(&c.TopK, "topk", 0, "topk kept fraction (0 = comm default)")
+}
+
+// Validate reports the group's one cross-flag constraint: the refining
+// flags are meaningless without a codec selected.
+func (c *Codec) Validate() error {
+	if c.Name == "" && (c.Downlink != "" || c.Bits != 0 || c.TopK != 0) {
+		return fmt.Errorf("-downlink-codec, -bits, and -topk require -codec")
+	}
+	return nil
+}
+
+// Enabled reports whether a codec was selected.
+func (c *Codec) Enabled() bool { return c.Name != "" }
+
+// Apply validates the group and writes the selected codec specs into
+// cfg (a no-op when no codec is selected).
+func (c *Codec) Apply(cfg *core.Config) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Name == "" {
+		return nil
+	}
+	cfg.Codec = comm.Spec{Name: c.Name, Bits: c.Bits, TopK: c.TopK}
+	if c.Downlink != "" {
+		cfg.DownlinkCodec = comm.Spec{Name: c.Downlink, Bits: c.Bits, TopK: c.TopK}
+	}
+	return nil
+}
+
+// Async is the asynchronous-aggregation flag group. Register declares
+// the full group (mode selector plus knobs) under the canonical names;
+// RegisterOverrides declares the knob subset under the "-async-*"
+// spellings cmd/fedbench uses to override experiment defaults, where
+// the experiments — not a flag — choose the aggregation mode.
+type Async struct {
+	Mode         string
+	Alpha        float64
+	StalenessExp float64
+	BufferK      int
+	MaxInFlight  int
+}
+
+// Register declares -async, -alpha, -staleness-exp, -buffer-k, and
+// -max-in-flight on fs.
+func (a *Async) Register(fs *flag.FlagSet) {
+	fs.StringVar(&a.Mode, "async", "", "aggregation discipline: empty/sync (lock-step rounds), async (fold replies on arrival), buffered (flush every -buffer-k replies)")
+	fs.Float64Var(&a.Alpha, "alpha", 0, "async base mixing rate in (0,1] (0 = default)")
+	fs.Float64Var(&a.StalenessExp, "staleness-exp", 0, "async staleness damping exponent p in alpha/(1+s)^p (0 = default, negative = no damping)")
+	fs.IntVar(&a.BufferK, "buffer-k", 0, "buffered mode: replies per flush (0 = -clients)")
+	fs.IntVar(&a.MaxInFlight, "max-in-flight", 0, "async modes: concurrently outstanding train requests (0 = -clients)")
+}
+
+// RegisterOverrides declares -async-alpha, -async-staleness-exp, and
+// -async-buffer-k on fs — the knobs without the mode selector.
+func (a *Async) RegisterOverrides(fs *flag.FlagSet) {
+	fs.Float64Var(&a.Alpha, "async-alpha", 0, "ext-async/ext-vtime base mixing rate (0 = core default)")
+	fs.Float64Var(&a.StalenessExp, "async-staleness-exp", 0, "ext-async/ext-vtime staleness damping exponent (0 = core default, negative = no damping)")
+	fs.IntVar(&a.BufferK, "async-buffer-k", 0, "ext-async/ext-vtime buffered flush size (0 = clients per round)")
+}
+
+// Config resolves the mode selector into a core.AsyncConfig, enforcing
+// the same cross-flag constraints everywhere: knobs require -async, and
+// -buffer-k applies only to the buffered mode.
+func (a *Async) Config() (core.AsyncConfig, error) {
+	switch a.Mode {
+	case "", "sync":
+		if a.Alpha != 0 || a.StalenessExp != 0 || a.BufferK != 0 || a.MaxInFlight != 0 {
+			return core.AsyncConfig{}, fmt.Errorf("-alpha, -staleness-exp, -buffer-k, and -max-in-flight require -async")
+		}
+		return core.AsyncConfig{}, nil
+	case "async":
+		if a.BufferK != 0 {
+			return core.AsyncConfig{}, fmt.Errorf("-buffer-k applies only to -async buffered")
+		}
+		return core.AsyncConfig{Mode: core.AsyncTotal, Alpha: a.Alpha, StalenessExponent: a.StalenessExp, MaxInFlight: a.MaxInFlight}, nil
+	case "buffered":
+		return core.AsyncConfig{Mode: core.Buffered, Alpha: a.Alpha, StalenessExponent: a.StalenessExp, BufferK: a.BufferK, MaxInFlight: a.MaxInFlight}, nil
+	default:
+		return core.AsyncConfig{}, fmt.Errorf("unknown -async mode %q (sync, async, buffered)", a.Mode)
+	}
+}
+
+// VTime is the virtual-time straggler-policy override group:
+// -vtime-deadline and -vtime-round-bytes.
+type VTime struct {
+	Deadline   float64
+	RoundBytes int64
+}
+
+// Register declares the group's flags on fs.
+func (v *VTime) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&v.Deadline, "vtime-deadline", 0, "ext-vtime sync-deadline policy in virtual seconds (0 = derive from the latency model)")
+	fs.Int64Var(&v.RoundBytes, "vtime-round-bytes", 0, "ext-vtime sync-budget policy in wire bytes per round (0 = ~70% of a full round)")
+}
+
+// Trace is the -trace flag group: a buffered JSONL event sink.
+type Trace struct {
+	Path string
+}
+
+// Register declares -trace on fs.
+func (t *Trace) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.Path, "trace", "", "stream a JSONL event trace to this file (see internal/obs)")
+}
+
+// Open creates the trace file and returns its sink plus a close
+// function that flushes and reports the first write error — call it
+// explicitly once the runs are done (os.Exit paths bypass defers).
+// With no -trace, the sink is nil and close is a no-op.
+func (t *Trace) Open() (obs.Sink, func() error, error) {
+	if t.Path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(t.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	j := obs.NewJSONL(w)
+	return j, func() error {
+		err := j.Err()
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// Debug is the -debug-addr flag group: the Prometheus /metrics plus
+// /debug/pprof endpoint.
+type Debug struct {
+	Addr string
+}
+
+// Register declares -debug-addr on fs.
+func (d *Debug) Register(fs *flag.FlagSet) {
+	fs.StringVar(&d.Addr, "debug-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+}
+
+// Serve starts the debug endpoint in the background when -debug-addr
+// was given and returns the registry sink to feed it (nil otherwise —
+// also pass nil to serve pprof without metrics). name prefixes the
+// listen-failure message.
+func (d *Debug) Serve(name string, withMetrics bool) *obs.Registry {
+	if d.Addr == "" {
+		return nil
+	}
+	var reg *obs.Registry
+	if withMetrics {
+		reg = obs.NewRegistry()
+	}
+	go func() {
+		if err := http.ListenAndServe(d.Addr, obs.Debug(reg)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: debug server: %v\n", name, err)
+		}
+	}()
+	return reg
+}

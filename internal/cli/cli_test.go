@@ -1,0 +1,138 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedprox/internal/core"
+)
+
+// parse registers the groups on a throwaway FlagSet and parses args —
+// the way every command consumes this package.
+func parse(t *testing.T, register func(*flag.FlagSet), args ...string) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecApply(t *testing.T) {
+	var c Codec
+	parse(t, c.Register, "-codec", "qsgd", "-bits", "4", "-downlink-codec", "raw")
+	var cfg core.Config
+	if err := c.Apply(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Codec.Name != "qsgd" || cfg.Codec.Bits != 4 {
+		t.Fatalf("uplink spec not applied: %+v", cfg.Codec)
+	}
+	if cfg.DownlinkCodec.Name != "raw" {
+		t.Fatalf("downlink spec not applied: %+v", cfg.DownlinkCodec)
+	}
+
+	// Refining flags without -codec are the one cross-flag error, with
+	// the same message on every command.
+	var bad Codec
+	parse(t, bad.Register, "-bits", "4")
+	if err := bad.Apply(&core.Config{}); err == nil || !strings.Contains(err.Error(), "require -codec") {
+		t.Fatalf("want 'require -codec' error, got %v", err)
+	}
+
+	// No codec selected: Apply is a no-op.
+	var none Codec
+	parse(t, none.Register)
+	cfg = core.Config{}
+	if err := none.Apply(&cfg); err != nil || cfg.Codec.Enabled() {
+		t.Fatalf("empty group must be a no-op, got %+v, %v", cfg.Codec, err)
+	}
+}
+
+func TestAsyncConfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		mode    core.AggregationMode
+		wantErr string
+	}{
+		{name: "default-sync", args: nil, mode: core.SyncRounds},
+		{name: "explicit-sync", args: []string{"-async", "sync"}, mode: core.SyncRounds},
+		{name: "async", args: []string{"-async", "async", "-alpha", "0.5", "-max-in-flight", "8"}, mode: core.AsyncTotal},
+		{name: "buffered", args: []string{"-async", "buffered", "-buffer-k", "3"}, mode: core.Buffered},
+		{name: "knobs-without-mode", args: []string{"-alpha", "0.5"}, wantErr: "require -async"},
+		{name: "buffer-k-on-total", args: []string{"-async", "async", "-buffer-k", "3"}, wantErr: "-async buffered"},
+		{name: "unknown-mode", args: []string{"-async", "bogus"}, wantErr: "unknown -async mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a Async
+			parse(t, a.Register, tc.args...)
+			got, err := a.Config()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Mode != tc.mode {
+				t.Fatalf("mode = %v, want %v", got.Mode, tc.mode)
+			}
+		})
+	}
+}
+
+func TestAsyncRegisterOverrides(t *testing.T) {
+	// The fedbench spellings set the same fields, without a mode
+	// selector — the experiments decide the mode.
+	var a Async
+	parse(t, a.RegisterOverrides, "-async-alpha", "0.25", "-async-staleness-exp", "-1", "-async-buffer-k", "4")
+	if a.Alpha != 0.25 || a.StalenessExp != -1 || a.BufferK != 4 {
+		t.Fatalf("override spellings did not land: %+v", a)
+	}
+	if a.Mode != "" {
+		t.Fatalf("overrides must not select a mode, got %q", a.Mode)
+	}
+}
+
+func TestTraceOpen(t *testing.T) {
+	// Empty path: nil sink, close is a working no-op.
+	var empty Trace
+	sink, closeFn, err := empty.Open()
+	if err != nil || sink != nil {
+		t.Fatalf("empty -trace: want nil sink, got %v, %v", sink, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("no-op close errored: %v", err)
+	}
+
+	// Real path: events land in the file after close.
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr := Trace{Path: path}
+	sink, closeFn, err = tr.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink == nil {
+		t.Fatal("want a sink for a real path")
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+}
+
+func TestDebugServeDisabled(t *testing.T) {
+	var d Debug
+	if reg := d.Serve("test", true); reg != nil {
+		t.Fatal("no -debug-addr must not build a registry")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"strings"
 
 	"fedprox/internal/frand"
+	"fedprox/internal/tensor"
 )
 
 // Default knob values filled in by Spec.WithDefaults.
@@ -124,6 +125,33 @@ func (s Spec) UsesPrev() bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// WireSize returns the exact WireBytes of any n-parameter transfer this
+// codec encodes. Every registered codec's encoded size is a pure
+// function of the parameter count — qsgd packs a fixed bit width, topk
+// keeps a fixed coordinate fraction, the dense codecs ship 8·n — which
+// is what lets the virtual-time driver charge a reply's uplink leg and
+// schedule its arrival before the solve has produced the payload
+// (core/vsim.go). A test asserts WireSize against realized encodes for
+// every codec.
+func (s Spec) WireSize(n int) int64 {
+	d := s.WithDefaults()
+	switch d.Name {
+	case "qsgd", "delta+qsgd":
+		return 8 + int64((n*d.Bits+7)/8)
+	case "topk":
+		k := int(d.TopK*float64(n) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		return 4 + 12*int64(k)
+	default: // raw, delta: dense float64
+		return 8 * int64(n)
 	}
 }
 
@@ -206,7 +234,10 @@ type Codec interface {
 	Encode(params, prev []float64) *Update
 	// Decode reconstructs the transferred parameters. prev must be the
 	// same value the encoder saw — link endpoints keep it in lockstep by
-	// both storing every decoded transfer. Decode is stateless.
+	// both storing every decoded transfer. Decode is stateless. The
+	// returned slice is exclusively the caller's (it may come from the
+	// tensor pool); callers that do not retain it should hand it back
+	// with tensor.PutVec.
 	Decode(u *Update, prev []float64) ([]float64, error)
 }
 
@@ -277,7 +308,9 @@ func (rawCodec) Decode(u *Update, prev []float64) ([]float64, error) {
 	if len(u.Dense) != u.N {
 		return nil, fmt.Errorf("comm: raw payload has %d values, header says %d", len(u.Dense), u.N)
 	}
-	return append([]float64(nil), u.Dense...), nil
+	out := tensor.GetVec(u.N)
+	copy(out, u.Dense)
+	return out, nil
 }
 
 // deltaCodec applies an inner codec to the difference params − prev
@@ -291,7 +324,10 @@ type deltaCodec struct {
 func (c *deltaCodec) Name() string { return c.name }
 
 func (c *deltaCodec) Encode(params, prev []float64) *Update {
-	d := make([]float64, len(params))
+	// The difference is pure scratch: inner codecs never retain their
+	// input (raw copies it, qsgd/topk extract packed payloads), so it
+	// goes back to the pool before returning.
+	d := tensor.GetVec(len(params))
 	copy(d, params)
 	if prev != nil {
 		for i, p := range prev {
@@ -300,6 +336,7 @@ func (c *deltaCodec) Encode(params, prev []float64) *Update {
 	}
 	u := c.inner.Encode(d, nil)
 	u.Codec = c.name
+	tensor.PutVec(d)
 	return u
 }
 

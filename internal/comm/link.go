@@ -74,11 +74,19 @@ func (l *LinkState) Prev(device int) []float64 {
 
 // SetPrev records the decoded broadcast after a downlink transfer. Both
 // endpoints of a link must call it with the same decoded value to stay
-// in lockstep.
+// in lockstep. The view is copied into a per-device buffer the link
+// retains, so callers keep ownership of the slice they pass (and may
+// recycle it).
 func (l *LinkState) SetPrev(device int, view []float64) {
 	if l.trackPrev {
 		l.mu.Lock()
-		l.prev[device] = view
+		p := l.prev[device]
+		if cap(p) < len(view) {
+			p = make([]float64, len(view))
+		}
+		p = p[:len(view)]
+		copy(p, view)
+		l.prev[device] = p
 		l.mu.Unlock()
 	}
 }

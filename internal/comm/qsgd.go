@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fedprox/internal/frand"
+	"fedprox/internal/tensor"
 )
 
 // qsgdCodec implements QSGD-style stochastic uniform quantization: each
@@ -74,8 +75,9 @@ func (c *qsgdCodec) Decode(u *Update, prev []float64) ([]float64, error) {
 		return nil, fmt.Errorf("comm: qsgd payload has %d bytes, want %d", len(u.Packed), want)
 	}
 	s := levels(u.Bits)
-	out := make([]float64, u.N)
+	out := tensor.GetVec(u.N)
 	if u.Scale == 0 {
+		tensor.Zero(out)
 		return out, nil
 	}
 	unit := u.Scale / float64(s)

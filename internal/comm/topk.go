@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"fedprox/internal/tensor"
 )
 
 // topkCodec transmits only the k largest-magnitude coordinates of the
@@ -32,8 +34,9 @@ func (c *topkCodec) Name() string { return "topk" }
 func (c *topkCodec) Encode(params, prev []float64) *Update {
 	n := len(params)
 	// d is the transition this call owes the peer: params − prev, plus
-	// whatever earlier rounds left in the residual.
-	d := make([]float64, n)
+	// whatever earlier rounds left in the residual. It is pure scratch —
+	// everything the Update carries is copied out of it.
+	d := tensor.GetVec(n)
 	copy(d, params)
 	if prev != nil {
 		for i, p := range prev {
@@ -83,6 +86,7 @@ func (c *topkCodec) Encode(params, prev []float64) *Update {
 			c.residual[i] = 0
 		}
 	}
+	tensor.PutVec(d)
 	return u
 }
 
@@ -139,9 +143,11 @@ func (c *topkCodec) Decode(u *Update, prev []float64) ([]float64, error) {
 	if len(u.Indices) != len(u.Values) {
 		return nil, fmt.Errorf("comm: topk has %d indices but %d values", len(u.Indices), len(u.Values))
 	}
-	out := make([]float64, u.N)
+	out := tensor.GetVec(u.N)
 	if prev != nil {
 		copy(out, prev)
+	} else {
+		tensor.Zero(out)
 	}
 	for j, i := range u.Indices {
 		if i < 0 || int(i) >= u.N {

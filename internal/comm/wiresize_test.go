@@ -1,0 +1,42 @@
+package comm
+
+import "testing"
+
+// TestWireSizeMatchesRealizedEncodes is the contract the virtual-time
+// driver leans on: Spec.WireSize(n) equals the realized WireBytes of an
+// actual n-parameter encode, for every registered codec at several
+// knob settings and sizes (including n=1 and bit widths that don't
+// divide a byte). The driver charges a reply's uplink before the solve
+// produces the payload, so a drift here silently skews every virtual
+// clock.
+func TestWireSizeMatchesRealizedEncodes(t *testing.T) {
+	specs := []Spec{
+		{Name: "raw"},
+		{Name: "delta"},
+		{Name: "qsgd"},
+		{Name: "qsgd", Bits: 2},
+		{Name: "qsgd", Bits: 5}, // 5 bits: packing straddles byte boundaries
+		{Name: "qsgd", Bits: 16},
+		{Name: "delta+qsgd", Bits: 3},
+		{Name: "topk"},
+		{Name: "topk", TopK: 0.33},
+		{Name: "topk", TopK: 1},
+	}
+	for _, s := range specs {
+		for _, n := range []int{1, 2, 7, 64, 257} {
+			params := testVec(n, 11)
+			prev := testVec(n, 12)
+			c := mustCodec(t, s)
+			u := c.Encode(params, prev)
+			if got, want := u.WireBytes(), s.WireSize(n); got != want {
+				t.Errorf("%v n=%d: realized %d bytes, WireSize predicts %d", s, n, got, want)
+			}
+			// A second encode on the same link (error feedback, changed
+			// state) must not change the size either.
+			u = c.Encode(prev, params)
+			if got, want := u.WireBytes(), s.WireSize(n); got != want {
+				t.Errorf("%v n=%d second encode: realized %d, predicted %d", s, n, got, want)
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"fedprox/internal/comm"
 	"fedprox/internal/obs"
@@ -389,8 +390,15 @@ func (c Config) CommSpecs() (down, up comm.Spec) {
 	return down.WithDefaults(), up.WithDefaults()
 }
 
-// withDefaults returns c with zero-valued optional knobs filled in.
-func (c Config) withDefaults() Config {
+// WithDefaults returns c with every zero-valued optional knob replaced
+// by its default. This is the one place the zero-selects-default rules
+// live: EvalEvery 0 → evaluate every round, MuStep/MuPatience 0 → the
+// adaptive-μ controller's paper settings, Parallelism 0 → GOMAXPROCS.
+// Every constructor path (NewCoordinator, the drivers) normalizes
+// through here, so callers may hand-build a Config with zeros and get
+// the documented behavior; Validate accepts everything WithDefaults
+// produces from a valid base (asserted by a table-driven test).
+func (c Config) WithDefaults() Config {
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 1
 	}
@@ -400,7 +408,19 @@ func (c Config) withDefaults() Config {
 	if c.MuPatience == 0 {
 		c.MuPatience = 5
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// DefaultConfig returns the paper's baseline configuration, fully
+// normalized: FedAvg at the synthetic-suite scale (200 rounds, 10
+// clients per round, 20 local epochs, lr 0.01) with every optional knob
+// resolved by WithDefaults. It validates as-is; experiments override
+// fields from here instead of re-stating the defaults.
+func DefaultConfig() Config {
+	return FedAvg(200, 10, 20, 0.01).WithDefaults()
 }
 
 // FedAvg returns a configuration implementing Algorithm 1: μ = 0, SGD

@@ -260,7 +260,9 @@ func (w *workStats) add(done, target int) {
 }
 
 func foldStaleDeltas(w []float64, batch []StaleDelta, version int, sampling SamplingScheme, alpha, p float64, st *foldStats) bool {
-	num := make([]float64, len(w))
+	num := tensor.GetVec(len(w))
+	defer tensor.PutVec(num)
+	tensor.Zero(num)
 	den := 0.0
 	for _, e := range batch {
 		s := float64(version - e.Version)
@@ -417,7 +419,7 @@ type Coordinator struct {
 	flushSize     int
 	roundSize     int
 	buffer        []StaleDelta
-	idle          map[int]bool
+	idle          *idleSet
 	windowBytes   int64
 	stats         foldStats
 
@@ -434,7 +436,7 @@ func NewCoordinator(mdl model.Model, cfg Config, opts CoordinatorOptions) (*Coor
 	if opts.NumDevices <= 0 {
 		return nil, errors.New("core: coordinator needs a positive NumDevices")
 	}
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	root := frand.New(cfg.Seed)
 	c := &Coordinator{
 		cfg:        cfg,
@@ -568,7 +570,7 @@ func (c *Coordinator) RegisterWorker(devices []DeviceReg) ([]Command, error) {
 		}
 		c.live[d.ID] = true
 		c.liveDevices++
-		c.idle[d.ID] = true
+		c.idle.add(d.ID)
 		c.emit(obs.Event{Kind: obs.KindWorkerReadmit, Device: d.ID})
 	}
 	if c.evalWait != nil {
@@ -1185,10 +1187,8 @@ func (c *Coordinator) startAsync() ([]Command, error) {
 	// budget below one round-trip, a deadline below the fastest latency)
 	// would otherwise dispatch forever.
 	c.maxDispatches = 64*c.target + 1024
-	c.idle = make(map[int]bool, c.n)
-	for id := 0; id < c.n; id++ {
-		c.idle[id] = true
-	}
+	c.idle = newIdleSet(c.n)
+	c.idle.fill()
 	return c.beginEval(0, c.cfg.Mu, math.NaN(), 0, c.fillAsync)
 }
 
@@ -1196,23 +1196,24 @@ func (c *Coordinator) startAsync() ([]Command, error) {
 // environment streams (uniform or size-weighted over the sorted idle
 // set). Selection, straggler budgets, and batch orders are split per
 // dispatch sequence — the same derivation every async executor has
-// always used.
+// always used. The uniform mode draws rank-then-select on the idle
+// set's Fenwick tree, O(log N) per dispatch, consuming exactly the draw
+// the old sort-the-idle-slice implementation consumed; the weighted
+// mode still walks the ordered idle population because its float prefix
+// scan is not tree-decomposable without perturbing the draw.
 func (c *Coordinator) asyncDispatch() (Dispatch, error) {
-	ids := make([]int, 0, len(c.idle))
-	for id := range c.idle {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	rng := c.selRoot.SplitIndex(c.dispatchSeq)
 	var id int
 	if c.cfg.Sampling == WeightedSimpleAvg {
-		ws := make([]float64, len(ids))
-		for i, d := range ids {
-			ws[i] = c.weights[d]
-		}
+		ids := make([]int, 0, c.idle.len())
+		ws := make([]float64, 0, c.idle.len())
+		c.idle.ascending(func(d int) {
+			ids = append(ids, d)
+			ws = append(ws, c.weights[d])
+		})
 		id = ids[rng.WeightedChoice(ws, 1)[0]]
 	} else {
-		id = ids[rng.Intn(len(ids))]
+		id = c.idle.kth(rng.Intn(c.idle.len()))
 	}
 	epochs := c.cfg.LocalEpochs
 	if c.cfg.StragglerFraction > 0 {
@@ -1235,9 +1236,14 @@ func (c *Coordinator) asyncDispatch() (Dispatch, error) {
 			return Dispatch{}, err
 		}
 	} else {
-		view = append([]float64(nil), c.w...)
+		// Freeze the broadcast at dispatch time: the solve may run
+		// concurrently with later model folds, so the device must see the
+		// version it was dispatched, not a racing c.w. Pooled — the copy
+		// is recycled when the reply resolves (or the worker is lost).
+		view = tensor.GetVec(len(c.w))
+		copy(view, c.w)
 	}
-	delete(c.idle, id)
+	c.idle.remove(id)
 	c.pending[id] = &pendingDispatch{
 		device:    id,
 		seq:       seq,
@@ -1275,7 +1281,7 @@ func (c *Coordinator) asyncDispatch() (Dispatch, error) {
 // drained.
 func (c *Coordinator) fillAsync() ([]Command, error) {
 	var cmds []Command
-	for c.folded+len(c.pending) < c.target && len(c.pending) < c.async.MaxInFlight && len(c.idle) > 0 {
+	for c.folded+len(c.pending) < c.target && len(c.pending) < c.async.MaxInFlight && c.idle.len() > 0 {
 		if c.cfg.VTime.Enabled() && c.dispatchSeq >= c.maxDispatches {
 			return nil, fmt.Errorf("core: async schedule made no progress after %d dispatches — the deadline/byte-budget policy drops every reply", c.dispatchSeq)
 		}
@@ -1321,7 +1327,7 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 	}
 	delete(c.pending, r.Device)
 	if c.live[r.Device] {
-		c.idle[r.Device] = true
+		c.idle.add(r.Device)
 	}
 	wk, upWire, err := c.decodeReply(in, r)
 	if err != nil {
@@ -1381,7 +1387,7 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 	case ArrivalFolded:
 		c.cost.UplinkBytes += upWire
 		c.windowBytes += roundTrip
-		delta := make([]float64, len(wk))
+		delta := tensor.GetVec(len(wk))
 		for i := range wk {
 			delta[i] = wk[i] - in.view[i]
 		}
@@ -1394,6 +1400,11 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 			if foldStaleDeltas(c.w, c.buffer, c.version, c.cfg.Sampling, c.async.Alpha, c.async.StalenessExponent, &c.stats) {
 				c.version++
 				c.emit(obs.Event{Kind: obs.KindFold, Round: c.folded / c.roundSize, Version: c.version, N: len(c.buffer)})
+			}
+			// The fold copied everything it needed into c.w; the buffered
+			// deltas are dead.
+			for _, sd := range c.buffer {
+				tensor.PutVec(sd.Delta)
 			}
 			c.buffer = c.buffer[:0]
 		}
@@ -1426,6 +1437,11 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 		c.cost.WastedEpochs += done
 		staleness = -1
 	}
+	// Past the disposition switch both the decoded solution and the
+	// frozen broadcast view are dead (a fold copied what it needed into
+	// its delta); recycle them.
+	tensor.PutVec(wk)
+	tensor.PutVec(in.view)
 	if c.timed() {
 		c.hist.Arrivals = append(c.hist.Arrivals, Arrival{
 			Device:    in.device,
@@ -1459,7 +1475,7 @@ func (c *Coordinator) WorkerLost(devices []int) ([]Command, error) {
 		}
 		c.live[id] = false
 		c.liveDevices--
-		delete(c.idle, id)
+		c.idle.remove(id)
 		c.emit(obs.Event{Kind: obs.KindWorkerLost, Device: id})
 		if in, ok := c.pending[id]; ok {
 			// The expected (budget-clamped) epochs stay charged; whatever
@@ -1468,6 +1484,7 @@ func (c *Coordinator) WorkerLost(devices []int) ([]Command, error) {
 			if in.charged {
 				c.cost.WastedEpochs += in.expected
 			}
+			tensor.PutVec(in.view)
 			delete(c.pending, id)
 		}
 	}

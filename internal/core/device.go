@@ -45,6 +45,7 @@ import (
 	"fedprox/internal/obs"
 	"fedprox/internal/privacy"
 	"fedprox/internal/solver"
+	"fedprox/internal/tensor"
 )
 
 // EvalRequest asks a device runtime to evaluate the global model on every
@@ -112,10 +113,16 @@ type Device struct {
 	mdl    model.Model
 	shards map[int]*data.Shard
 	ids    []int // hosted device IDs, ascending
-	local  solver.LocalSolver
-	priv   *privacy.Mechanism
-	gamma  bool
-	trace  obs.Sink
+	// fleet, when non-nil, replaces shards/ids: the runtime hosts the
+	// whole population lazily, materializing a device's shard only for
+	// the duration of the dispatch (or eval pass) that needs it. This
+	// is what keeps a 10^5–10^6-device simulated run at O(cohort)
+	// memory.
+	fleet data.Fleet
+	local solver.LocalSolver
+	priv  *privacy.Mechanism
+	gamma bool
+	trace obs.Sink
 
 	// links, when installed, is the device side of the codec link state:
 	// downlink decoders with the last decoded broadcast per device,
@@ -150,6 +157,46 @@ func NewDevice(mdl model.Model, shards []*data.Shard, opts DeviceOptions) *Devic
 		gamma:  opts.TrackGamma,
 		trace:  opts.Trace,
 	}
+}
+
+// NewFleetDevice builds a device runtime hosting every device of a lazy
+// fleet. Unlike NewDevice it keeps no per-device example storage: each
+// HandleDispatch materializes its device's shard from the fleet and
+// releases it before returning, so resident data is bounded by the
+// number of concurrent dispatches, not the population.
+func NewFleetDevice(mdl model.Model, fl data.Fleet, opts DeviceOptions) *Device {
+	if mdl == nil || fl == nil || fl.NumDevices() == 0 {
+		panic("core: fleet device runtime needs a model and a non-empty fleet")
+	}
+	local := opts.Solver
+	if local == nil {
+		local = solver.SGDSolver{}
+	}
+	return &Device{
+		mdl:   mdl,
+		fleet: fl,
+		local: local,
+		priv:  opts.Privacy,
+		gamma: opts.TrackGamma,
+		trace: opts.Trace,
+	}
+}
+
+// shardFor resolves a hosted device's shard. On fleet runtimes the shard
+// is materialized on demand and release (non-nil only then) must be
+// called when the caller is done reading it.
+func (dv *Device) shardFor(id int) (shard *data.Shard, release func(), err error) {
+	if dv.fleet != nil {
+		if id < 0 || id >= dv.fleet.NumDevices() {
+			return nil, nil, fmt.Errorf("core: device %d not hosted on this runtime", id)
+		}
+		return dv.fleet.Shard(id), func() { dv.fleet.Release(id) }, nil
+	}
+	s, ok := dv.shards[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: device %d not hosted on this runtime", id)
+	}
+	return s, nil, nil
 }
 
 // emit sends one event to the device's trace sink. Device events carry
@@ -187,6 +234,16 @@ func (dv *Device) SeedEvalPrev(prev []float64) {
 // Hosted returns the hosted devices as registration entries, in
 // ascending device order.
 func (dv *Device) Hosted() []DeviceReg {
+	if dv.fleet != nil {
+		// Registration is the one O(population) pass: sizes only, no
+		// example data is materialized.
+		n := dv.fleet.NumDevices()
+		out := make([]DeviceReg, n)
+		for id := 0; id < n; id++ {
+			out[id] = DeviceReg{ID: id, TrainSize: dv.fleet.TrainSize(id)}
+		}
+		return out
+	}
 	out := make([]DeviceReg, 0, len(dv.ids))
 	for _, id := range dv.ids {
 		out = append(out, DeviceReg{ID: id, TrainSize: len(dv.shards[id].Train)})
@@ -213,9 +270,12 @@ func (d Dispatch) SolverConfig() solver.Config {
 // runtimes, the raw solution otherwise, and always reports the epochs
 // actually run in EpochsDone.
 func (dv *Device) HandleDispatch(d Dispatch) (Reply, error) {
-	shard, ok := dv.shards[d.Device]
-	if !ok {
-		return Reply{}, fmt.Errorf("core: device %d not hosted on this runtime", d.Device)
+	shard, releaseShard, err := dv.shardFor(d.Device)
+	if err != nil {
+		return Reply{}, err
+	}
+	if releaseShard != nil {
+		defer releaseShard()
 	}
 	view := d.View
 	if d.Update != nil {
@@ -284,6 +344,16 @@ func (dv *Device) HandleDispatch(d Dispatch) (Reply, error) {
 			EpochsDone: epochs, BytesUp: up, BytesDown: down,
 		})
 	}
+	// Recycle per-dispatch scratch. A locally decoded view is dead here
+	// (SetPrev copied it into the link's own shadow); the raw solution is
+	// dead once it left as an encoded Update. When the Reply carries
+	// Params instead, ownership of wk moves to the caller.
+	if d.Update != nil {
+		tensor.PutVec(view)
+	}
+	if dv.links != nil {
+		tensor.PutVec(wk)
+	}
 	return r, nil
 }
 
@@ -308,9 +378,20 @@ func (dv *Device) HandleEval(e EvalRequest) (EvalReply, error) {
 	if len(view) != dv.mdl.NumParams() {
 		return EvalReply{}, fmt.Errorf("core: parameter length %d != model %d", len(view), dv.mdl.NumParams())
 	}
-	reply := EvalReply{Seq: e.Seq, Devices: make([]DeviceEval, 0, len(dv.ids))}
-	for _, id := range dv.ids {
-		s := dv.shards[id]
+	hosted := dv.ids
+	if dv.fleet != nil {
+		n := dv.fleet.NumDevices()
+		hosted = make([]int, n)
+		for i := range hosted {
+			hosted[i] = i
+		}
+	}
+	reply := EvalReply{Seq: e.Seq, Devices: make([]DeviceEval, 0, len(hosted))}
+	for _, id := range hosted {
+		s, releaseShard, err := dv.shardFor(id)
+		if err != nil {
+			return EvalReply{}, err
+		}
 		ev := DeviceEval{
 			Device:    id,
 			TrainLoss: dv.mdl.Loss(view, s.Train),
@@ -322,9 +403,12 @@ func (dv *Device) HandleEval(e EvalRequest) (EvalReply, error) {
 				ev.Correct++
 			}
 		}
+		if releaseShard != nil {
+			releaseShard()
+		}
 		reply.Devices = append(reply.Devices, ev)
 	}
-	dv.emit(obs.Event{Kind: obs.KindDeviceEval, Seq: e.Seq, N: len(dv.ids)})
+	dv.emit(obs.Event{Kind: obs.KindDeviceEval, Seq: e.Seq, N: len(hosted)})
 	return reply, nil
 }
 

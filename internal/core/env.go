@@ -30,7 +30,7 @@ type Env struct {
 func NewEnv(fed *data.Federated, cfg Config) *Env {
 	root := frand.New(cfg.Seed)
 	return &Env{
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg.WithDefaults(),
 		fed:       fed,
 		weights:   fed.Weights(),
 		selRoot:   root.Split("selection"),

@@ -1,0 +1,99 @@
+package core
+
+// idleSet tracks which devices are idle (registered, live, and without
+// an outstanding dispatch) as a membership bitmap plus a Fenwick tree
+// over it. The async scheduler needs two operations the previous
+// map[int]bool could not provide at population scale: iterate-free
+// uniform sampling and ordered enumeration. With the tree, "the j-th
+// smallest idle id" is O(log N), so drawing a uniform device is
+// O(log N) instead of the O(N log N) collect-and-sort per dispatch —
+// the difference between tens and millions of devices per vtime run.
+//
+// kth(j) returns exactly the element at index j of the sorted idle-id
+// slice the old implementation built, so selection streams consume
+// identical draws and histories stay bit-identical.
+type idleSet struct {
+	in    []bool  // membership bitmap
+	tree  []int32 // Fenwick (binary indexed) tree over membership, 1-based
+	count int
+}
+
+func newIdleSet(n int) *idleSet {
+	return &idleSet{in: make([]bool, n), tree: make([]int32, n+1)}
+}
+
+func (s *idleSet) len() int { return s.count }
+
+func (s *idleSet) has(id int) bool { return s.in[id] }
+
+func (s *idleSet) add(id int) {
+	if s.in[id] {
+		return
+	}
+	s.in[id] = true
+	s.count++
+	for i := id + 1; i < len(s.tree); i += i & -i {
+		s.tree[i]++
+	}
+}
+
+func (s *idleSet) remove(id int) {
+	if !s.in[id] {
+		return
+	}
+	s.in[id] = false
+	s.count--
+	for i := id + 1; i < len(s.tree); i += i & -i {
+		s.tree[i]--
+	}
+}
+
+// fill marks every device idle in O(N): bitmap set plus one bottom-up
+// tree build (tree[i] counts the i&-i members ending at i).
+func (s *idleSet) fill() {
+	n := len(s.in)
+	for i := range s.in {
+		s.in[i] = true
+	}
+	s.count = n
+	for i := 1; i <= n; i++ {
+		s.tree[i] = int32(i & -i)
+	}
+}
+
+// kth returns the j-th smallest idle id (0-based). It panics if
+// j >= len(), matching a slice index out of range on the old path.
+func (s *idleSet) kth(j int) int {
+	if j < 0 || j >= s.count {
+		panic("core: idleSet rank out of range")
+	}
+	// Descend the Fenwick tree: find the smallest prefix holding j+1
+	// members.
+	target := int32(j + 1)
+	pos := 0
+	bit := 1
+	for bit<<1 <= len(s.in) {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next < len(s.tree) && s.tree[next] < target {
+			target -= s.tree[next]
+			pos = next
+		}
+	}
+	return pos // pos is 1-based index of the member, minus one = id
+}
+
+// ascending calls fn(id) for every idle id in ascending order. The
+// weighted sampling mode still needs the full ordered idle population
+// (its draw folds a float prefix sum that no tree can replicate
+// bit-for-bit), so it remains O(N) per dispatch — documented on
+// Config.Sampling.
+func (s *idleSet) ascending(fn func(id int)) {
+	for id, in := range s.in {
+		if in {
+			fn(id)
+		}
+	}
+}

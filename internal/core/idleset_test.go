@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refIdle mirrors the sorted-slice implementation idleSet replaced; the
+// Fenwick tree must agree with it on every operation interleaving.
+type refIdle map[int]bool
+
+func (r refIdle) sorted() []int {
+	ids := make([]int, 0, len(r))
+	for id := range r {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func checkAgainstRef(t *testing.T, s *idleSet, ref refIdle) {
+	t.Helper()
+	ids := ref.sorted()
+	if s.len() != len(ids) {
+		t.Fatalf("len = %d, want %d", s.len(), len(ids))
+	}
+	for j, want := range ids {
+		if got := s.kth(j); got != want {
+			t.Fatalf("kth(%d) = %d, want %d (idle %v)", j, got, want, ids)
+		}
+	}
+	var walked []int
+	s.ascending(func(id int) { walked = append(walked, id) })
+	if len(walked) != len(ids) {
+		t.Fatalf("ascending walked %d ids, want %d", len(walked), len(ids))
+	}
+	for j := range ids {
+		if walked[j] != ids[j] {
+			t.Fatalf("ascending[%d] = %d, want %d", j, walked[j], ids[j])
+		}
+	}
+}
+
+// TestIdleSetMatchesReference drives random add/remove interleavings
+// (with redundant operations mixed in) and asserts kth and ascending
+// agree with the sorted-slice reference after every step.
+func TestIdleSetMatchesReference(t *testing.T) {
+	const n = 97 // odd, non-power-of-two to exercise the tree descent
+	s := newIdleSet(n)
+	ref := refIdle{}
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 2000; step++ {
+		id := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			s.add(id)
+			ref[id] = true
+		} else {
+			s.remove(id)
+			delete(ref, id)
+		}
+		if got, want := s.has(id), ref[id]; got != want {
+			t.Fatalf("step %d: has(%d) = %v, want %v", step, id, got, want)
+		}
+		if step%97 == 0 {
+			checkAgainstRef(t, s, ref)
+		}
+	}
+	checkAgainstRef(t, s, ref)
+}
+
+// TestIdleSetFill: fill marks the whole population idle in one pass and
+// leaves the tree in the same state incremental adds would have.
+func TestIdleSetFill(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100} {
+		s := newIdleSet(n)
+		s.add(n / 2) // fill must overwrite prior partial state
+		s.fill()
+		ref := refIdle{}
+		for id := 0; id < n; id++ {
+			ref[id] = true
+		}
+		checkAgainstRef(t, s, ref)
+		s.remove(0)
+		delete(ref, 0)
+		checkAgainstRef(t, s, ref)
+	}
+}
+
+// TestIdleSetKthPanics: out-of-range ranks panic like the slice index
+// they replaced.
+func TestIdleSetKthPanics(t *testing.T) {
+	s := newIdleSet(8)
+	s.add(3)
+	for _, j := range []int{-1, 1, 8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("kth(%d) with 1 idle did not panic", j)
+				}
+			}()
+			s.kth(j)
+		}()
+	}
+}

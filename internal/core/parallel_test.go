@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"fedprox/internal/obs"
+)
+
+// TestVTimeParallelismParity is the solve pool's correctness bar: a
+// virtual-time run at any Parallelism produces the bit-identical
+// History AND the byte-identical JSONL trace of the serial run. The
+// pool may only parallelize the solves between event-queue pops; every
+// observable ordering (arrivals, folds, trace emission) stays the
+// event queue's.
+func TestVTimeParallelismParity(t *testing.T) {
+	for _, mode := range []AggregationMode{AsyncTotal, Buffered} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(par int) (*History, []byte) {
+				mdl, fed := tinyWorkload()
+				cfg := vtimeAsyncConfig(mode, fed.NumDevices())
+				if mode == Buffered {
+					cfg.Async.BufferK = 3
+				}
+				cfg.Parallelism = par
+				var buf bytes.Buffer
+				cfg.Trace = obs.NewJSONL(&buf)
+				h, err := Run(mdl, fed, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return h, buf.Bytes()
+			}
+			serialH, serialTrace := run(1)
+			if len(serialTrace) == 0 {
+				t.Fatal("serial run emitted no trace")
+			}
+			for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+				h, trace := run(par)
+				if !historiesEqual(serialH, h) {
+					t.Errorf("Parallelism=%d history differs from serial", par)
+				}
+				if !bytes.Equal(serialTrace, trace) {
+					t.Errorf("Parallelism=%d trace differs from serial (%d vs %d bytes)",
+						par, len(serialTrace), len(trace))
+				}
+			}
+		})
+	}
+}
+
+// TestSyncParallelismParity: the synchronous driver's bounded fan-out
+// keeps the same contract — replies land in selection order regardless
+// of solve completion order.
+func TestSyncParallelismParity(t *testing.T) {
+	run := func(par int) (*History, []byte) {
+		mdl, fed := tinyWorkload()
+		cfg := FedProx(5, 5, 3, 0.01, 1)
+		cfg.StragglerFraction = 0.5
+		cfg.EvalEvery = 2
+		cfg.Parallelism = par
+		var buf bytes.Buffer
+		cfg.Trace = obs.NewJSONL(&buf)
+		h, err := Run(mdl, fed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, buf.Bytes()
+	}
+	serialH, serialTrace := run(1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		h, trace := run(par)
+		if !historiesEqual(serialH, h) {
+			t.Errorf("Parallelism=%d sync history differs from serial", par)
+		}
+		if !bytes.Equal(serialTrace, trace) {
+			t.Errorf("Parallelism=%d sync trace differs from serial", par)
+		}
+	}
+}

@@ -12,18 +12,35 @@ import (
 	"fedprox/internal/vtime"
 )
 
+// Fleet is the lazy population view the in-process drivers run over:
+// population size plus materialize-shard-on-demand. It is an alias for
+// data.Fleet (the metrics package shares it without an import cycle);
+// any fully materialized *data.Federated adapts via its Fleet method,
+// and generators like synthetic.NewFleet implement it natively so a
+// 10^5–10^6-device run never holds the population's examples at once.
+type Fleet = data.Fleet
+
 // Run executes one federated optimization run of cfg on (m, fed) and
-// returns the evaluated trajectory.
+// returns the evaluated trajectory. It is RunFleet over the eager Fleet
+// view of fed; results are bit-identical to pre-Fleet versions of this
+// API.
+func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
+	return RunFleet(m, fed.Fleet(), cfg)
+}
+
+// RunFleet executes one federated optimization run of cfg over a lazy
+// fleet and returns the evaluated trajectory.
 //
-// Run is the in-process driver of the shared core.Coordinator and
+// RunFleet is the in-process driver of the shared core.Coordinator and
 // core.Device: the coordinator makes every server-side decision
 // (selection, straggler policies, aggregation, accounting) and one
-// Device hosting every shard serves the device side (decode, solve,
-// privacy, encode). This loop only moves events between the two —
+// Device hosting every fleet device serves the device side (decode,
+// solve, privacy, encode). This loop only moves events between the two —
 // parallel HandleDispatch calls for Dispatch, metric passes for
 // Evaluate/ObserveLoss, and virtual-clock charges for AdvanceClock when
-// a latency model is attached.
-func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
+// a latency model is attached. Per-round memory is O(cohort): shards
+// are materialized per dispatch and evaluation streams over the fleet.
+func RunFleet(m model.Model, fl Fleet, cfg Config) (*History, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -31,10 +48,10 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 		if !cfg.VTime.Enabled() {
 			return nil, fmt.Errorf("core: %s aggregation in the simulator requires a virtual-time latency model (set Config.VTime.Model, see internal/vtime); the fednet runtime executes it against the real clock", cfg.Async.Mode)
 		}
-		return runAsyncVTime(m, fed, cfg)
+		return runAsyncVTime(m, fl, cfg)
 	}
 
-	coord, dev, err := newSimPair(m, fed, cfg)
+	coord, dev, err := newSimPair(m, fl, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -66,13 +83,13 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 					vt.chargeEval(v.WireBytes)
 					coord.Tick(vt.eng.Now())
 				}
-				more, err := coord.EvalDone(simEval(m, fed, v))
+				more, err := coord.EvalDone(simEval(m, fl, v))
 				if err != nil {
 					return nil, err
 				}
 				next = append(next, more...)
 			case ObserveLoss:
-				more, err := coord.LossObserved(metrics.GlobalLoss(m, fed, v.Params))
+				more, err := coord.LossObserved(metrics.FleetLoss(m, fl, v.Params))
 				if err != nil {
 					return nil, err
 				}
@@ -108,19 +125,19 @@ func Run(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
 }
 
 // newSimPair builds the two halves of an in-process run: a coordinator
-// with every shard of fed registered as one in-process worker, and one
-// core.Device hosting all of those shards — the same device runtime the
-// fednet workers wrap, so device-side behavior cannot drift between the
-// simulator and the deployment. With a codec configured the device gets
-// its own link endpoint (the simulator's link state lives where the
+// with every fleet device registered as one in-process worker, and one
+// core.Device hosting the whole fleet lazily — the same device runtime
+// the fednet workers wrap, so device-side behavior cannot drift between
+// the simulator and the deployment. With a codec configured the device
+// gets its own link endpoint (the simulator's link state lives where the
 // deployment's does), and the pair is bound so checkpoints capture both
 // endpoints' codec state.
-func newSimPair(m model.Model, fed *data.Federated, cfg Config) (*Coordinator, *Device, error) {
-	coord, err := NewCoordinator(m, cfg, CoordinatorOptions{NumDevices: fed.NumDevices()})
+func newSimPair(m model.Model, fl Fleet, cfg Config) (*Coordinator, *Device, error) {
+	coord, err := NewCoordinator(m, cfg, CoordinatorOptions{NumDevices: fl.NumDevices()})
 	if err != nil {
 		return nil, nil, err
 	}
-	dev := NewDevice(m, fed.Shards, DeviceOptions{
+	dev := NewFleetDevice(m, fl, DeviceOptions{
 		Solver:     cfg.Solver,
 		Privacy:    cfg.Privacy,
 		TrackGamma: cfg.TrackGamma,
@@ -139,14 +156,16 @@ func newSimPair(m model.Model, fed *data.Federated, cfg Config) (*Coordinator, *
 }
 
 // simEval answers an Evaluate command with in-process metric passes over
-// the whole network, at the (possibly codec-decoded) eval broadcast view.
-func simEval(m model.Model, fed *data.Federated, v Evaluate) EvalResult {
+// the whole network, at the (possibly codec-decoded) eval broadcast
+// view. The passes stream over the fleet, so evaluation memory is
+// O(workers × shard).
+func simEval(m model.Model, fl Fleet, v Evaluate) EvalResult {
 	res := EvalResult{
-		Loss: metrics.GlobalLoss(m, fed, v.Params),
-		Acc:  metrics.TestAccuracy(m, fed, v.Params),
+		Loss: metrics.FleetLoss(m, fl, v.Params),
+		Acc:  metrics.FleetAccuracy(m, fl, v.Params),
 	}
 	if v.TrackDissimilarity {
-		res.GradVar, res.B = metrics.Dissimilarity(m, fed, v.Params)
+		res.GradVar, res.B = metrics.FleetDissimilarity(m, fl, v.Params)
 	}
 	return res
 }

@@ -5,8 +5,8 @@ package core
 // the shared core.Coordinator: every protocol decision — device choice,
 // staleness damping, milestone cadence, the deadline and byte-budget
 // policies — happens in the coordinator; this loop only turns Dispatch
-// commands into eagerly computed local solves whose replies arrive on
-// the seeded event queue in latency order.
+// commands into local solves whose replies arrive on the seeded event
+// queue in latency order.
 //
 // What the fednet runtime buys with wall-clock liveness the simulator
 // buys back as reproducibility: the same seed always yields the same
@@ -14,30 +14,114 @@ package core
 // latency model and the queue's (time, seq) tiebreak — never by
 // goroutine scheduling. Both executors feed the identical coordinator,
 // so their trajectories coincide by construction.
+//
+// Solves run on a bounded worker pool (Config.Parallelism goroutines)
+// underneath the event queue. This cannot perturb the trajectory
+// because a reply's arrival time is a pure function of the dispatch: the
+// compute leg charges the epochs the device will deterministically run
+// (the dispatch's budget truncation) and the uplink leg charges the
+// codec's data-independent wire size (comm.Spec.WireSize) — so arrivals
+// are scheduled before the solve finishes, the solve result is joined
+// only when its arrival event fires, and folds still apply in the
+// queue's (time, seq) order. Per-device codec state stays single-owner:
+// the at-most-one-outstanding-dispatch-per-device invariant means a
+// device is redispatched only after its previous reply was folded,
+// which happens only after its solve was joined.
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
+	"sync"
 
-	"fedprox/internal/data"
 	"fedprox/internal/model"
 )
+
+// solveFuture is one in-flight local solve: the arrival event joins it.
+type solveFuture struct {
+	done chan struct{}
+	r    Reply
+	err  error
+}
+
+func (f *solveFuture) wait() (Reply, error) {
+	<-f.done
+	return f.r, f.err
+}
+
+// solvePool runs device solves on a fixed set of worker goroutines.
+// Submission never blocks the event loop: the backlog is sized to the
+// maximum number of in-flight dispatches.
+type solvePool struct {
+	work chan func()
+	wg   sync.WaitGroup
+}
+
+func newSolvePool(workers, backlog int) *solvePool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &solvePool{work: make(chan func(), backlog)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.work {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *solvePool) submit(fn func() (Reply, error)) *solveFuture {
+	f := &solveFuture{done: make(chan struct{})}
+	p.work <- func() {
+		f.r, f.err = fn()
+		close(f.done)
+	}
+	return f
+}
+
+// close stops the workers after draining queued solves.
+func (p *solvePool) close() {
+	close(p.work)
+	p.wg.Wait()
+}
 
 // runAsyncVTime executes the asynchronous aggregation modes on the
 // virtual clock: up to MaxInFlight devices are in flight at all times,
 // each reply folds (or buffers) damped by its staleness the moment it
 // arrives, and Rounds counts model milestones of roundSize replies each,
 // evaluated on the sync cadence.
-func runAsyncVTime(m model.Model, fed *data.Federated, cfg Config) (*History, error) {
-	if fed.NumDevices() == 0 {
+func runAsyncVTime(m model.Model, fl Fleet, cfg Config) (*History, error) {
+	if fl.NumDevices() == 0 {
 		return nil, errors.New("core: vtime async run on an empty network")
 	}
-	coord, dev, err := newSimPair(m, fed, cfg)
+	coord, dev, err := newSimPair(m, fl, cfg)
 	if err != nil {
 		return nil, err
 	}
 	vt := newVtimer(cfg.VTime, int64(m.NumParams()*8))
 	coord.Tick(vt.eng.Now())
 	lat := cfg.VTime.Model
+
+	// The uplink leg is charged before the solve completes, which is
+	// only sound because every codec's encoded size is a pure function
+	// of the parameter count (asserted against the realized reply at
+	// arrival below).
+	predictedUp := vt.paramBytes
+	if cfg.Codec.Enabled() {
+		_, up := cfg.CommSpecs()
+		predictedUp = up.WireSize(m.NumParams())
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := newSolvePool(workers, cfg.Async.WithDefaults(cfg.ClientsPerRound).MaxInFlight+workers)
+	defer pool.close()
 
 	var (
 		queue  []Command
@@ -54,32 +138,51 @@ func runAsyncVTime(m model.Model, fed *data.Federated, cfg Config) (*History, er
 			queue = queue[1:]
 			switch v := cmd.(type) {
 			case Dispatch:
-				// The local solve runs eagerly on the shared device
-				// runtime — the simulator already knows the answer — and
-				// only the reply's arrival is deferred to the event
-				// queue. In-process shipping cannot fail, so the transfer
-				// is confirmed immediately. The compute leg charges the
-				// epochs the device actually ran (a device-side budget
-				// shortens it).
+				// The local solve is handed to the worker pool — the
+				// simulator will know the answer before it is due — and
+				// the reply's arrival is scheduled immediately from the
+				// dispatch alone. In-process shipping cannot fail, so
+				// the transfer is confirmed immediately. The compute leg
+				// charges the epochs the device will actually run: the
+				// budget truncation is deterministic device-side
+				// arithmetic, mirrored here.
 				coord.DispatchSent(v.Device)
-				r, err := dev.HandleDispatch(v)
-				if err != nil {
-					runErr = err
-					break
+				epochs := v.Epochs
+				if v.EpochBudget > 0 && v.EpochBudget < epochs {
+					epochs = v.EpochBudget
 				}
+				up := predictedUp
+				fut := pool.submit(func() (Reply, error) { return dev.HandleDispatch(v) })
 				sent := vt.eng.Now()
 				arrive := sent +
 					lat.DownlinkSeconds(v.Seq, v.Device, v.DownBytes) +
-					lat.ComputeSeconds(v.Seq, v.Device, r.EpochsDone) +
-					lat.UplinkSeconds(v.Seq, v.Device, vt.uplinkBytes(r))
+					lat.ComputeSeconds(v.Seq, v.Device, epochs) +
+					lat.UplinkSeconds(v.Seq, v.Device, up)
 				// Stamp the reply's own latency: the deadline policy must
 				// judge it, not the clock delta at arrival (an eval charge
 				// can overtake the scheduled arrival time).
-				r.Timed = true
-				r.Seq = v.Seq
-				r.Rel = arrive - sent
-				r.Lost = lat.Dropped(v.Seq, v.Device)
+				rel := arrive - sent
+				lost := lat.Dropped(v.Seq, v.Device)
+				seq := v.Seq
 				vt.eng.Schedule(arrive, func() {
+					r, err := fut.wait()
+					if err != nil {
+						if runErr == nil {
+							runErr = err
+						}
+						return
+					}
+					if r.EpochsDone != epochs || vt.uplinkBytes(r) != up {
+						if runErr == nil {
+							runErr = fmt.Errorf("core: vtime arrival charged %d epochs/%d uplink bytes but device %d realized %d/%d",
+								epochs, up, r.Device, r.EpochsDone, vt.uplinkBytes(r))
+						}
+						return
+					}
+					r.Timed = true
+					r.Seq = seq
+					r.Rel = rel
+					r.Lost = lost
 					coord.Tick(vt.eng.Now())
 					more, err := coord.HandleReply(r)
 					if err != nil && runErr == nil {
@@ -94,7 +197,7 @@ func runAsyncVTime(m model.Model, fed *data.Federated, cfg Config) (*History, er
 				// byte accounting.
 				vt.chargeEval(v.WireBytes)
 				coord.Tick(vt.eng.Now())
-				more, err := coord.EvalDone(simEval(m, fed, v))
+				more, err := coord.EvalDone(simEval(m, fl, v))
 				if err != nil {
 					runErr = err
 					break

@@ -1,0 +1,135 @@
+package synthetic
+
+import (
+	"math"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/tensor"
+)
+
+// Fleet is the lazy data.Fleet view of a synthetic population: it holds
+// only the O(N) sample-size allocation plus the generator's stream
+// seeds, and synthesizes a device's shard on demand — bit-identical to
+// the shard Generate would have produced at the same index (asserted in
+// tests). Peak memory for a run over the fleet is O(active cohort), not
+// O(population), which is what lets virtual-time sweeps reach 10^5–10^6
+// devices.
+//
+// Shard is a pure function of (config, device index), so concurrent
+// calls with distinct indices are safe. Release is a no-op: shards are
+// independent allocations handed to the garbage collector.
+type Fleet struct {
+	cfg   Config
+	sizes []int
+	// sigma[j] = (j+1)^-1.2, the diagonal input covariance; sigmaStd
+	// caches its square root (the per-example draw uses the std).
+	sigma    []float64
+	sigmaStd []float64
+	// Shared model for the IID dataset (nil rows otherwise).
+	sharedW tensor.Mat
+	sharedB []float64
+	// Stream states captured after construction-time draws, exactly
+	// where Generate's device loop begins: SplitIndex from these states
+	// reproduces Generate's per-device streams.
+	modelState, dataState, splitState uint64
+}
+
+// NewFleet builds the lazy fleet for c. Construction performs only the
+// sequential draws Generate does before its device loop — the power-law
+// size allocation and (for IID) the shared model — so it is O(N) ints,
+// not O(total samples).
+func NewFleet(c Config) *Fleet {
+	if c.Devices <= 0 || c.Dim <= 0 || c.Classes <= 1 {
+		panic("synthetic: invalid config")
+	}
+	root := frand.New(c.Seed)
+	sizeRng := root.Split("sizes")
+	modelRng := root.Split("models")
+	dataRng := root.Split("data")
+	splitRng := root.Split("split")
+
+	f := &Fleet{
+		cfg:   c,
+		sizes: data.PowerLawSizes(sizeRng, c.Devices, c.MinSamples, c.MaxSamples, c.PowerAlpha),
+	}
+	f.sigma = make([]float64, c.Dim)
+	f.sigmaStd = make([]float64, c.Dim)
+	for j := range f.sigma {
+		f.sigma[j] = math.Pow(float64(j+1), -1.2)
+		f.sigmaStd[j] = math.Sqrt(f.sigma[j])
+	}
+	if c.IID {
+		// These draws advance modelRng before the device loop, exactly
+		// as in Generate; the per-device streams split from the
+		// advanced state.
+		f.sharedW = tensor.NewMat(c.Classes, c.Dim)
+		modelRng.NormVec(f.sharedW.Data, 0, 1)
+		f.sharedB = modelRng.NormVec(make([]float64, c.Classes), 0, 1)
+	}
+	f.modelState = modelRng.State()
+	f.dataState = dataRng.State()
+	f.splitState = splitRng.State()
+	return f
+}
+
+// Config returns the generator configuration the fleet was built from.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// NumDevices returns the population size.
+func (f *Fleet) NumDevices() int { return f.cfg.Devices }
+
+// TrainSize returns device k's training-set size without synthesizing
+// its examples: SplitTrainTest's train count is a deterministic
+// function of the sample count and TrainFrac.
+func (f *Fleet) TrainSize(k int) int {
+	n := f.sizes[k]
+	nTrain := int(math.Round(f.cfg.TrainFrac * float64(n)))
+	if nTrain == n && n > 1 {
+		nTrain--
+	}
+	if nTrain == 0 && n > 1 {
+		nTrain = 1
+	}
+	return nTrain
+}
+
+// Shard synthesizes device k's shard, bit-identical to
+// Generate(f.Config()).Shards[k].
+func (f *Fleet) Shard(k int) *data.Shard {
+	c := f.cfg
+	devModel := frand.New(f.modelState).SplitIndex(k)
+	devData := frand.New(f.dataState).SplitIndex(k)
+
+	W := f.sharedW
+	b := f.sharedB
+	var mean []float64
+	if c.IID {
+		mean = make([]float64, c.Dim) // v = 0 for every device
+	} else {
+		// u_k ~ N(0, α); W_k, b_k ~ N(u_k, 1).
+		uk := devModel.NormMeanStd(0, math.Sqrt(c.Alpha))
+		W = tensor.NewMat(c.Classes, c.Dim)
+		devModel.NormVec(W.Data, uk, 1)
+		b = devModel.NormVec(make([]float64, c.Classes), uk, 1)
+		// B_k ~ N(0, β); (v_k)_j ~ N(B_k, 1).
+		Bk := devModel.NormMeanStd(0, math.Sqrt(c.Beta))
+		mean = devModel.NormVec(make([]float64, c.Dim), Bk, 1)
+	}
+
+	logits := make([]float64, c.Classes)
+	examples := make([]data.Example, f.sizes[k])
+	for i := range examples {
+		x := make([]float64, c.Dim)
+		for j := range x {
+			x[j] = devData.NormMeanStd(mean[j], f.sigmaStd[j])
+		}
+		tensor.MatVecAdd(logits, W, x, b)
+		examples[i] = data.Example{X: x, Y: tensor.ArgMax(logits)}
+	}
+	train, test := data.SplitTrainTest(examples, c.TrainFrac, frand.New(f.splitState).SplitIndex(k))
+	return &data.Shard{ID: k, Train: train, Test: test}
+}
+
+// Release is a no-op; shards are independent allocations.
+func (f *Fleet) Release(int) {}

@@ -1,0 +1,111 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+
+	"fedprox/internal/data"
+)
+
+func fleetTestConfig() Config {
+	return Config{
+		Alpha: 1, Beta: 1,
+		Devices:    17,
+		Dim:        6,
+		Classes:    4,
+		MinSamples: 5,
+		MaxSamples: 40,
+		PowerAlpha: 1.55,
+		TrainFrac:  0.8,
+		Seed:       42,
+	}
+}
+
+// shardsEqual compares two shards bit for bit: every feature value must
+// carry identical IEEE-754 bits, every label and split boundary must
+// match.
+func shardsEqual(a, b *data.Shard) bool {
+	if a.ID != b.ID || len(a.Train) != len(b.Train) || len(a.Test) != len(b.Test) {
+		return false
+	}
+	eq := func(p, q []data.Example) bool {
+		for i := range p {
+			if p[i].Y != q[i].Y || len(p[i].X) != len(q[i].X) {
+				return false
+			}
+			for j := range p[i].X {
+				if math.Float64bits(p[i].X[j]) != math.Float64bits(q[i].X[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return eq(a.Train, b.Train) && eq(a.Test, b.Test)
+}
+
+// TestFleetMatchesGenerate is the lazy fleet's defining contract: for
+// every device index, Shard(k) synthesized on demand is bit-identical
+// to the shard the eager Generate produces at the same index, TrainSize
+// predicts the split without materializing, and FleetWeights equals
+// Federated.Weights.
+func TestFleetMatchesGenerate(t *testing.T) {
+	for _, iid := range []bool{false, true} {
+		c := fleetTestConfig()
+		c.IID = iid
+		t.Run(c.Name(), func(t *testing.T) {
+			fed := Generate(c)
+			fl := NewFleet(c)
+			if fl.NumDevices() != fed.NumDevices() {
+				t.Fatalf("NumDevices %d != %d", fl.NumDevices(), fed.NumDevices())
+			}
+			for k := 0; k < fl.NumDevices(); k++ {
+				if got, want := fl.TrainSize(k), len(fed.Shards[k].Train); got != want {
+					t.Errorf("TrainSize(%d) = %d, want %d", k, got, want)
+				}
+				sh := fl.Shard(k)
+				if !shardsEqual(sh, fed.Shards[k]) {
+					t.Errorf("Shard(%d) differs from Generate", k)
+				}
+				fl.Release(k)
+			}
+			fw, ew := data.FleetWeights(fl), fed.Weights()
+			for k := range ew {
+				if math.Float64bits(fw[k]) != math.Float64bits(ew[k]) {
+					t.Errorf("FleetWeights[%d] = %v, want %v", k, fw[k], ew[k])
+				}
+			}
+		})
+	}
+}
+
+// TestFleetShardIsPure: repeated and out-of-order materializations of
+// the same index yield the same bits — Shard is a pure function of
+// (config, index), which is what makes concurrent materialization safe.
+func TestFleetShardIsPure(t *testing.T) {
+	fl := NewFleet(fleetTestConfig())
+	a := fl.Shard(11)
+	fl.Shard(3) // interleaved access must not perturb stream state
+	b := fl.Shard(11)
+	if !shardsEqual(a, b) {
+		t.Fatal("Shard(11) is not reproducible across calls")
+	}
+}
+
+// TestEagerFleetAdapter: a materialized Federated viewed through Fleet
+// reports the same sizes and shards by identity.
+func TestEagerFleetAdapter(t *testing.T) {
+	fed := Generate(fleetTestConfig())
+	fl := fed.Fleet()
+	if fl.NumDevices() != fed.NumDevices() {
+		t.Fatalf("NumDevices %d != %d", fl.NumDevices(), fed.NumDevices())
+	}
+	for k := 0; k < fl.NumDevices(); k++ {
+		if fl.Shard(k) != fed.Shards[k] {
+			t.Fatalf("eager Shard(%d) is not the identical shard", k)
+		}
+		if fl.TrainSize(k) != len(fed.Shards[k].Train) {
+			t.Fatalf("eager TrainSize(%d) mismatch", k)
+		}
+	}
+}

@@ -8,6 +8,13 @@
 // objective f(w)" (Section 5.1). Evaluation fans out across shards with a
 // bounded worker pool because it is by far the most expensive part of a
 // simulated round.
+//
+// Every metric is defined over a data.Fleet, the lazy population view:
+// workers materialize a shard, measure it, and release it, so peak memory
+// during evaluation is O(workers × shard), not O(population) — the
+// property that lets a 10^6-device run afford its milestone evaluations.
+// The *data.Federated forms delegate through the eager Fleet adapter and
+// return bit-identical results.
 package metrics
 
 import (
@@ -23,10 +30,20 @@ import (
 // GlobalLoss returns f(w) = Σ_k p_k F_k(w) with p_k = n_k/n over local
 // training sets.
 func GlobalLoss(m model.Model, fed *data.Federated, w []float64) float64 {
-	weights := fed.Weights()
-	losses := make([]float64, len(fed.Shards))
-	forEachShard(len(fed.Shards), func(k int) {
-		losses[k] = m.Loss(w, fed.Shards[k].Train)
+	return FleetLoss(m, fed.Fleet(), w)
+}
+
+// FleetLoss is GlobalLoss over a lazy fleet: shards are materialized,
+// measured, and released one at a time per worker. The weighted sum is
+// accumulated in ascending device order, so the result is bit-identical
+// across worker counts and to the eager path.
+func FleetLoss(m model.Model, fl data.Fleet, w []float64) float64 {
+	weights := data.FleetWeights(fl)
+	losses := make([]float64, fl.NumDevices())
+	forEachShard(len(losses), func(k int) {
+		s := fl.Shard(k)
+		losses[k] = m.Loss(w, s.Train)
+		fl.Release(k)
 	})
 	total := 0.0
 	for k, l := range losses {
@@ -38,26 +55,33 @@ func GlobalLoss(m model.Model, fed *data.Federated, w []float64) float64 {
 // TestAccuracy returns the network-wide test accuracy: total correct
 // predictions over total test examples across every device.
 func TestAccuracy(m model.Model, fed *data.Federated, w []float64) float64 {
-	correct := make([]int, len(fed.Shards))
-	counts := make([]int, len(fed.Shards))
-	forEachShard(len(fed.Shards), func(k int) {
-		s := fed.Shards[k]
+	return FleetAccuracy(m, fed.Fleet(), w)
+}
+
+// FleetAccuracy is TestAccuracy over a lazy fleet.
+func FleetAccuracy(m model.Model, fl data.Fleet, w []float64) float64 {
+	n := fl.NumDevices()
+	correct := make([]int, n)
+	counts := make([]int, n)
+	forEachShard(n, func(k int) {
+		s := fl.Shard(k)
 		for _, ex := range s.Test {
 			if m.Predict(w, ex) == ex.Y {
 				correct[k]++
 			}
 		}
 		counts[k] = len(s.Test)
+		fl.Release(k)
 	})
-	c, n := 0, 0
+	c, total := 0, 0
 	for k := range correct {
 		c += correct[k]
-		n += counts[k]
+		total += counts[k]
 	}
-	if n == 0 {
+	if total == 0 {
 		return 0
 	}
-	return float64(c) / float64(n)
+	return float64(c) / float64(total)
 }
 
 // PerClassAccuracy returns test accuracy broken down by true label, plus
@@ -118,12 +142,23 @@ func GradVariance(m model.Model, fed *data.Federated, w []float64) float64 {
 // stationarity convention) and 0 reported when ‖∇f(w)‖ is numerically
 // zero without agreement.
 func Dissimilarity(m model.Model, fed *data.Federated, w []float64) (variance, b float64) {
-	weights := fed.Weights()
-	n := len(fed.Shards)
+	return FleetDissimilarity(m, fed.Fleet(), w)
+}
+
+// FleetDissimilarity is Dissimilarity over a lazy fleet. Shards are
+// transient, but the per-device gradients are not: ∇f(w) needs every
+// ∇F_k(w), so this holds O(N × params) floats and is meant for the
+// tracked-dissimilarity configurations (tens to hundreds of devices),
+// not million-device sweeps — which reject TrackGamma anyway.
+func FleetDissimilarity(m model.Model, fl data.Fleet, w []float64) (variance, b float64) {
+	weights := data.FleetWeights(fl)
+	n := fl.NumDevices()
 	grads := make([][]float64, n)
 	forEachShard(n, func(k int) {
 		g := make([]float64, m.NumParams())
-		m.Grad(g, w, fed.Shards[k].Train)
+		s := fl.Shard(k)
+		m.Grad(g, w, s.Train)
+		fl.Release(k)
 		grads[k] = g
 	})
 	// ∇f(w) = Σ p_k ∇F_k(w).

@@ -84,8 +84,8 @@ func (m *Model) Grad(dst, w []float64, batch []data.Example) float64 {
 	}
 	W, b := m.split(w)
 	gW, gb := m.split(dst)
-	logits := make([]float64, m.Classes)
-	probs := make([]float64, m.Classes)
+	scratch := make([]float64, 2*m.Classes)
+	logits, probs := scratch[:m.Classes], scratch[m.Classes:]
 	total := 0.0
 	inv := 1 / float64(len(batch))
 	for _, ex := range batch {

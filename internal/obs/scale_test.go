@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScaleRoundTripAndGate(t *testing.T) {
+	pts := []ScalePoint{
+		{Name: "scale-100000", Devices: 100_000, Dispatches: 2000, DispatchesPerSec: 400,
+			BytesPerDevice: 220, PeakSysBytes: 22 << 20, WallSeconds: 5, FinalLoss: 1.61},
+		{Name: "scale-1000000", Devices: 1_000_000, Dispatches: 2000, DispatchesPerSec: 40,
+			BytesPerDevice: 140, PeakSysBytes: 140 << 20, WallSeconds: 50, FinalLoss: 1.61},
+	}
+	var buf bytes.Buffer
+	if err := WriteScale(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScale(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pts[0] || got[1] != pts[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+
+	// Within budget: 30% slower and 30% fatter under a 50% tolerance.
+	cur := []ScalePoint{{Name: "scale-100000", DispatchesPerSec: 280, BytesPerDevice: 286}}
+	if msgs := CompareScale(cur, pts, 0.5); len(msgs) != 0 {
+		t.Fatalf("unexpected regressions: %v", msgs)
+	}
+	// Throughput below floor AND footprint above ceiling both flag.
+	cur = []ScalePoint{{Name: "scale-100000", DispatchesPerSec: 100, BytesPerDevice: 400}}
+	msgs := CompareScale(cur, pts, 0.5)
+	if len(msgs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", msgs)
+	}
+	if !strings.Contains(msgs[0], "dispatches/sec") || !strings.Contains(msgs[1], "bytes/device") {
+		t.Fatalf("regression messages lack the gated dimensions: %v", msgs)
+	}
+	// Unlike CompareSpeed, a baseline point the current run skipped is
+	// NOT a regression — CI smoke re-measures only the sizes in budget.
+	cur = []ScalePoint{{Name: "scale-100000", DispatchesPerSec: 400, BytesPerDevice: 220}}
+	if msgs := CompareScale(cur, pts, 0.5); len(msgs) != 0 {
+		t.Fatalf("skipped baseline size flagged: %v", msgs)
+	}
+	// A size new to current ratchets in silently.
+	cur = append(cur, ScalePoint{Name: "scale-10000000", DispatchesPerSec: 1, BytesPerDevice: 999})
+	if msgs := CompareScale(cur, pts, 0.5); len(msgs) != 0 {
+		t.Fatalf("new size flagged: %v", msgs)
+	}
+}

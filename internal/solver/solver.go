@@ -42,23 +42,40 @@ type Config struct {
 // compared runs, per the paper's protocol.
 //
 // Each step takes w ← w − η·(∇F(w; batch) + μ·(w − w0) + correction).
+//
+// The returned slice is exclusively the caller's: it may come from the
+// tensor pool, and callers that do not retain it should hand it back
+// with tensor.PutVec.
 func SGD(m model.Model, train []data.Example, w0 []float64, cfg Config, epochs int, rng *frand.Source) []float64 {
 	if epochs < 0 {
 		panic("solver: negative epochs")
 	}
-	w := tensor.Clone(w0)
-	grad := make([]float64, m.NumParams())
+	if cfg.BatchSize <= 0 {
+		panic("data: non-positive batch size")
+	}
+	w := tensor.GetVec(len(w0))
+	copy(w, w0)
+	grad := tensor.GetVec(m.NumParams())
 	batch := make([]data.Example, 0, cfg.BatchSize)
+	// Batch windows are sliced straight off the epoch permutation —
+	// identical draws and batches as data.Batches, without materializing
+	// the per-epoch slice-of-slices.
 	for e := 0; e < epochs; e++ {
-		for _, idx := range data.Batches(len(train), cfg.BatchSize, rng) {
+		perm := rng.Perm(len(train))
+		for start := 0; start < len(train); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(train) {
+				end = len(train)
+			}
 			batch = batch[:0]
-			for _, i := range idx {
+			for _, i := range perm[start:end] {
 				batch = append(batch, train[i])
 			}
 			m.Grad(grad, w, batch)
 			applyStep(w, grad, w0, cfg)
 		}
 	}
+	tensor.PutVec(grad)
 	return w
 }
 
@@ -66,12 +83,14 @@ func SGD(m model.Model, train []data.Example, w0 []float64, cfg Config, epochs i
 // subproblem and returns the resulting parameters. It is the deterministic
 // local solver used to exercise the framework's solver-agnosticism.
 func GD(m model.Model, train []data.Example, w0 []float64, cfg Config, steps int) []float64 {
-	w := tensor.Clone(w0)
-	grad := make([]float64, m.NumParams())
+	w := tensor.GetVec(len(w0))
+	copy(w, w0)
+	grad := tensor.GetVec(m.NumParams())
 	for s := 0; s < steps; s++ {
 		m.Grad(grad, w, train)
 		applyStep(w, grad, w0, cfg)
 	}
+	tensor.PutVec(grad)
 	return w
 }
 
@@ -117,7 +136,8 @@ func SubproblemGrad(dst []float64, m model.Model, train []data.Example, w, w0 []
 // Gamma returns 0, matching the convention that no further progress is
 // required there.
 func Gamma(m model.Model, train []data.Example, w, w0 []float64, cfg Config) float64 {
-	grad := make([]float64, m.NumParams())
+	grad := tensor.GetVec(m.NumParams())
+	defer tensor.PutVec(grad)
 	SubproblemGrad(grad, m, train, w0, w0, cfg)
 	denom := tensor.Norm2(grad)
 	if denom < 1e-12 {

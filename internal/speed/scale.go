@@ -1,0 +1,92 @@
+package speed
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fedprox/internal/core"
+	"fedprox/internal/data/synthetic"
+	"fedprox/internal/model/linear"
+	"fedprox/internal/obs"
+	"fedprox/internal/vtime"
+)
+
+// ScaleSizes are the populations the committed BENCH_scale.json
+// measures. CI's bench-smoke job re-measures only the sizes that fit
+// its time budget (the 10^5 point) and gates those; the full sweep runs
+// when the baseline is regenerated.
+var ScaleSizes = []int{100_000, 1_000_000}
+
+// ScaleRSSBudget is the hard peak-memory ceiling for a scale run: a
+// million-device virtual-time run must fit in 2 GB, which is only
+// possible while fleet state stays O(1) per device and shards
+// materialize on demand. ScaleRun fails outright above it — this is an
+// absolute property of the lazy-fleet design, not a ratchet.
+const ScaleRSSBudget = 2 << 30
+
+// ScaleRun executes one population-scale virtual-time run: an
+// asynchronous (staleness-damped) schedule over a lazily synthesized
+// Synthetic(1,1) fleet of `devices` devices with a 10x-slow 10% tail,
+// 2000 dispatches at 128 in flight, and a single final fleet
+// evaluation. Every device-indexed structure in the run is O(1) per
+// device; shards exist only while a dispatch or evaluation reads them.
+//
+// The run is fully seeded: same devices => same History, same trace,
+// same FinalLoss, at any Parallelism. trace may be nil.
+func ScaleRun(devices int, trace obs.Sink) (obs.ScalePoint, error) {
+	start := time.Now()
+
+	sc := synthetic.Config{
+		Alpha: 1, Beta: 1,
+		Devices:    devices,
+		Dim:        10,
+		Classes:    5,
+		MinSamples: 10,
+		MaxSamples: 20,
+		PowerAlpha: 1.55,
+		TrainFrac:  0.8,
+		Seed:       42,
+	}
+	fl := synthetic.NewFleet(sc)
+	mdl := linear.New(sc.Dim, sc.Classes)
+
+	const rounds, clients = 20, 100 // 2000 dispatches per run
+	cfg := core.FedAvg(rounds, clients, 1, 0.01)
+	cfg.Mu = 0.1
+	cfg.EvalEvery = rounds // evaluate the fleet once, at the end
+	cfg.Async = core.AsyncConfig{Mode: core.AsyncTotal, MaxInFlight: 128}
+	cfg.VTime = core.VTimeConfig{Model: vtime.MustModel(
+		vtime.UniformCompute{SecondsPerEpoch: 0.05, Speed: vtime.SlowTail(devices, 0.1, 10)},
+		vtime.Net{UplinkBps: 1e6, DownlinkBps: 4e6, Latency: 0.02, JitterStd: 0.1},
+		cfg.Seed+101,
+	)}
+	cfg.Trace = trace
+
+	h, err := core.RunFleet(mdl, fl, cfg)
+	if err != nil {
+		return obs.ScalePoint{}, fmt.Errorf("speed: scale run (%d devices): %w", devices, err)
+	}
+	wall := time.Since(start).Seconds()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.Sys > ScaleRSSBudget {
+		return obs.ScalePoint{}, fmt.Errorf(
+			"speed: scale run (%d devices) peaked at %d bytes, over the %d hard budget",
+			devices, ms.Sys, int64(ScaleRSSBudget))
+	}
+	if len(h.Points) == 0 {
+		return obs.ScalePoint{}, fmt.Errorf("speed: scale run (%d devices) evaluated no points", devices)
+	}
+	return obs.ScalePoint{
+		Name:             fmt.Sprintf("scale-%d", devices),
+		Devices:          devices,
+		Dispatches:       len(h.Arrivals),
+		DispatchesPerSec: float64(len(h.Arrivals)) / wall,
+		BytesPerDevice:   float64(ms.Sys) / float64(devices),
+		PeakSysBytes:     int64(ms.Sys),
+		WallSeconds:      wall,
+		FinalLoss:        h.Points[len(h.Points)-1].TrainLoss,
+	}, nil
+}

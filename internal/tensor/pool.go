@@ -1,0 +1,51 @@
+package tensor
+
+import "sync"
+
+// vecPool recycles parameter-length float64 scratch across the hot
+// per-dispatch paths (solver gradients, codec delta scratch, decoded
+// views, broadcast copies). Within one run every vector is model-sized,
+// so the pool converges on a small set of buffers and steady-state
+// allocation becomes O(model), independent of how many dispatches a run
+// serves — the property the BenchmarkDeviceDispatch allocs/op gate
+// holds.
+var vecPool sync.Pool // *Vec boxes holding a pooled vector
+
+// boxPool recycles the *Vec boxes themselves: storing a slice in a
+// sync.Pool needs a heap box for the header, and allocating a fresh box
+// per PutVec would put one allocation right back on the path the pool
+// exists to clear. Boxes shuttle between the two pools instead.
+var boxPool sync.Pool
+
+// GetVec returns a length-n vector with unspecified contents. Callers
+// must fully overwrite it (or Zero it) before reading. The vector may
+// be handed to PutVec when the caller is done; never Put a vector that
+// something else still references.
+func GetVec(n int) Vec {
+	if p, ok := vecPool.Get().(*Vec); ok {
+		v := *p
+		*p = nil
+		boxPool.Put(p)
+		if cap(v) >= n {
+			return v[:n]
+		}
+	}
+	return make(Vec, n)
+}
+
+// PutVec returns a vector to the pool. The caller must not touch v
+// afterwards. Put only vectors with exclusive ownership — a slice that
+// escaped into a retained structure (a Reply, a link's prev shadow)
+// must be dropped to the garbage collector instead.
+func PutVec(v Vec) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:cap(v)]
+	p, ok := boxPool.Get().(*Vec)
+	if !ok {
+		p = new(Vec)
+	}
+	*p = v
+	vecPool.Put(p)
+}
