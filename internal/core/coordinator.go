@@ -306,6 +306,7 @@ type pendingDispatch struct {
 	// returns is still billed what the device could have run, matching
 	// the sync path's budget-clamped counterfactual.
 	expected  int
+	budget    int // the raw EpochBudget on the dispatch (0 = unlimited)
 	version   int
 	view      []float64 // the decoded broadcast view (uplink decode base)
 	downBytes int64
@@ -319,6 +320,7 @@ type syncReply struct {
 	wk      []float64
 	nk      float64
 	done    int // realized local epochs (== dispatched without a budget)
+	budget  int // the dispatch's raw EpochBudget (0 = unlimited)
 	gamma   float64
 	upBytes int64
 	seq     int
@@ -789,6 +791,7 @@ func (c *Coordinator) beginRound() ([]Command, error) {
 			index:     i,
 			epochs:    epochs[i],
 			expected:  expectedEpochs(budget, epochs[i]),
+			budget:    budget,
 			version:   t,
 			view:      view,
 			downBytes: db,
@@ -889,12 +892,14 @@ func (c *Coordinator) cutSyncRound(r *syncRound) (duration float64, drop []DropR
 			stale = -1
 		}
 		c.hist.Arrivals = append(c.hist.Arrivals, Arrival{
-			Device:    r.selected[l.i],
-			Seq:       l.seq,
-			Sent:      start,
-			Arrived:   start + l.rel,
-			Staleness: stale,
-			Drop:      reason,
+			Device:      r.selected[l.i],
+			Seq:         l.seq,
+			Sent:        start,
+			Arrived:     start + l.rel,
+			Staleness:   stale,
+			Drop:        reason,
+			EpochBudget: r.replies[l.i].budget,
+			EpochsDone:  r.replies[l.i].done,
 		})
 	}
 	return duration, drop
@@ -1249,6 +1254,7 @@ func (c *Coordinator) asyncDispatch() (Dispatch, error) {
 		seq:       seq,
 		epochs:    epochs,
 		expected:  expectedEpochs(budget, epochs),
+		budget:    budget,
 		version:   c.version,
 		view:      view,
 		downBytes: db,
@@ -1444,12 +1450,14 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 	tensor.PutVec(in.view)
 	if c.timed() {
 		c.hist.Arrivals = append(c.hist.Arrivals, Arrival{
-			Device:    in.device,
-			Seq:       in.seq,
-			Sent:      in.sentAt,
-			Arrived:   c.now,
-			Staleness: staleness,
-			Drop:      reason,
+			Device:      in.device,
+			Seq:         in.seq,
+			Sent:        in.sentAt,
+			Arrived:     c.now,
+			Staleness:   staleness,
+			Drop:        reason,
+			EpochBudget: in.budget,
+			EpochsDone:  done,
 		})
 	}
 	if c.evalWait == nil {
@@ -1545,6 +1553,7 @@ func (c *Coordinator) HandleReply(r Reply) ([]Command, error) {
 		wk:      wk,
 		nk:      c.sizes[r.Device],
 		done:    c.realizedEpochs(in.expected, r.EpochsDone),
+		budget:  in.budget,
 		gamma:   r.Gamma,
 		upBytes: upWire,
 		seq:     r.Seq,

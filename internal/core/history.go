@@ -113,6 +113,12 @@ type Arrival struct {
 	Staleness int
 	// Drop records why the reply was discarded, or ArrivalFolded.
 	Drop DropReason
+	// EpochBudget is the device-side compute budget that rode the
+	// dispatch (0 = unlimited) and EpochsDone the local epochs the
+	// device actually ran — together they price partial work when a
+	// recorded run is replayed under a different policy.
+	EpochBudget int
+	EpochsDone  int
 }
 
 // DropReason classifies the fate of a virtual-time reply.

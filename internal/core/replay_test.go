@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+	"fedprox/internal/obs"
+	"fedprox/internal/obs/tracefile"
+	"fedprox/internal/solver"
+)
+
+// panicSolver fails the test the moment any local solve runs — the
+// what-if acceptance criterion is "zero solver invocations".
+type panicSolver struct{}
+
+// Name deliberately claims "sgd" so Label(cfg) — and with it the
+// run-start trace event — is identical to a run with the default solver.
+func (panicSolver) Name() string { return "sgd" }
+
+func (panicSolver) Solve(model.Model, []data.Example, []float64, solver.Config, int, *frand.Source) []float64 {
+	panic("core: replay invoked a local solver")
+}
+
+// replaySyncConfig is a synchronous virtual-time run with a deadline
+// tight enough to cut the 10x tail but loose enough to keep the cohort.
+func replaySyncConfig(n int) Config {
+	cfg := vtimeAsyncConfig(SyncRounds, n)
+	cfg.Async = AsyncConfig{}
+	cfg.VTime.DeadlineSeconds = 2
+	return cfg
+}
+
+// recordTraced runs cfg over the tiny workload with a JSONL trace
+// attached and returns the history plus the decoded event stream — the
+// decode side of the round trip is exercised on every recording.
+func recordTraced(t *testing.T, cfg Config) (*History, []obs.Event, []byte) {
+	t.Helper()
+	mdl, fed := tinyWorkload()
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	cfg.Trace = j
+	h, err := Run(mdl, fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	evs, err := tracefile.ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("decoding own trace: %v", err)
+	}
+	return h, evs, raw
+}
+
+// replayTraced replays recorded under cfg with its own trace attached.
+func replayTraced(t *testing.T, cfg Config, recorded []obs.Event) (*History, []byte) {
+	t.Helper()
+	mdl, fed := tinyWorkload()
+	var buf bytes.Buffer
+	j := obs.NewJSONL(&buf)
+	cfg.Trace = j
+	h, err := Replay(mdl, fed.Fleet(), cfg, recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return h, buf.Bytes()
+}
+
+// assertArrivalEquivalence is the replay-equivalence contract on the
+// History: the fold schedule and every arrival-derived column re-derive
+// exactly; only the loss/accuracy metrics (which replay cannot know)
+// may differ.
+func assertArrivalEquivalence(t *testing.T, rec, rep *History) {
+	t.Helper()
+	if rec.Label != rep.Label {
+		t.Fatalf("label %q replayed as %q", rec.Label, rep.Label)
+	}
+	if len(rec.Arrivals) != len(rep.Arrivals) {
+		t.Fatalf("arrivals: %d recorded, %d replayed", len(rec.Arrivals), len(rep.Arrivals))
+	}
+	for i := range rec.Arrivals {
+		if rec.Arrivals[i] != rep.Arrivals[i] {
+			t.Fatalf("arrival %d: recorded %+v, replayed %+v", i, rec.Arrivals[i], rep.Arrivals[i])
+		}
+	}
+	if len(rec.Points) != len(rep.Points) {
+		t.Fatalf("points: %d recorded, %d replayed", len(rec.Points), len(rep.Points))
+	}
+	bits := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	for i := range rec.Points {
+		p, q := rec.Points[i], rep.Points[i]
+		if p.Round != q.Round || p.Participants != q.Participants || p.Cost != q.Cost {
+			t.Fatalf("point %d: recorded %+v, replayed %+v", i, p, q)
+		}
+		for _, f := range [][2]float64{
+			{p.VirtualSeconds, q.VirtualSeconds},
+			{p.MeanStaleness, q.MeanStaleness}, {p.MaxStaleness, q.MaxStaleness},
+			{p.MeanEpochsDone, q.MeanEpochsDone}, {p.PartialFraction, q.PartialFraction},
+			{p.Mu, q.Mu},
+		} {
+			if !bits(f[0], f[1]) {
+				t.Fatalf("point %d arrival-derived fields diverge: recorded %+v, replayed %+v", i, p, q)
+			}
+		}
+		if !math.IsNaN(q.TrainLoss) || !math.IsNaN(q.TestAcc) {
+			t.Fatalf("point %d: replay fabricated metrics %g/%g", i, q.TrainLoss, q.TestAcc)
+		}
+	}
+}
+
+// assertTraceEquivalence compares two trace streams event-by-event over
+// the shared schema: every field of every event must match (NaN-equal
+// floats), except an eval event's loss/acc — the metrics replay does
+// not recompute.
+func assertTraceEquivalence(t *testing.T, recRaw, repRaw []byte) {
+	t.Helper()
+	rec, err := tracefile.ReadAll(bytes.NewReader(recRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tracefile.ReadAll(bytes.NewReader(repRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(rep) {
+		t.Fatalf("trace length: %d recorded, %d replayed", len(rec), len(rep))
+	}
+	for i := range rec {
+		a, b := rec[i], rep[i]
+		if a.Kind != b.Kind {
+			t.Fatalf("event %d: kind %v replayed as %v", i, a.Kind, b.Kind)
+		}
+		for _, f := range obs.Fields(a.Kind) {
+			if a.Kind == obs.KindEval && (f.Key == "loss" || f.Key == "acc") {
+				continue
+			}
+			var eq bool
+			switch f.Type {
+			case obs.FieldInt:
+				eq = f.Int(&a) == f.Int(&b)
+			case obs.FieldInt64:
+				eq = f.Int64(&a) == f.Int64(&b)
+			case obs.FieldFloat:
+				eq = math.Float64bits(f.Float(&a)) == math.Float64bits(f.Float(&b))
+			case obs.FieldString:
+				eq = f.Str(&a) == f.Str(&b)
+			}
+			if !eq {
+				t.Fatalf("event %d (%v): field %q diverges\nrecorded %s\nreplayed %s",
+					i, a.Kind, f.Key,
+					obs.AppendEvent(nil, a), obs.AppendEvent(nil, b))
+			}
+		}
+	}
+}
+
+// TestReplayEquivalence is the tentpole's replay criterion: feeding a
+// recorded trace back through a fresh coordinator under the recorded
+// policy reproduces the original fold schedule, every arrival-derived
+// History column, and the full event stream — with zero local solves.
+func TestReplayEquivalence(t *testing.T) {
+	mdl, fed := tinyWorkload()
+	n := fed.NumDevices()
+	// A per-round wire budget worth ~3 of the 5 cohort replies.
+	roundBytes := int64(3 * 2 * mdl.NumParams() * 8)
+	cases := []struct {
+		name     string
+		cfg      Config
+		wantDrop DropReason // a drop the policy must actually produce
+	}{
+		{"sync-deadline", replaySyncConfig(n), DropDeadline},
+		{"sync-round-bytes", func() Config {
+			cfg := vtimeAsyncConfig(SyncRounds, n)
+			cfg.Async = AsyncConfig{}
+			cfg.VTime.RoundBytes = roundBytes // cuts the arrival-order tail
+			return cfg
+		}(), DropBudget},
+		{"async-total", vtimeAsyncConfig(AsyncTotal, n), ArrivalFolded},
+		{"async-buffered", func() Config {
+			cfg := vtimeAsyncConfig(Buffered, n)
+			cfg.Async.BufferK = 3
+			return cfg
+		}(), ArrivalFolded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, evs, recRaw := recordTraced(t, tc.cfg)
+			if tc.wantDrop != ArrivalFolded {
+				hit := false
+				for _, a := range rec.Arrivals {
+					if a.Drop == tc.wantDrop {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					t.Fatalf("recording produced no %v drops — the policy never bit", tc.wantDrop)
+				}
+			}
+			cfg := tc.cfg
+			cfg.Solver = panicSolver{} // replay must never solve
+			rep, repRaw := replayTraced(t, cfg, evs)
+			assertArrivalEquivalence(t, rec, rep)
+			assertTraceEquivalence(t, recRaw, repRaw)
+		})
+	}
+}
+
+// TestReplayWhatIf sweeps alternative policies over one recording: the
+// replays complete without a single solver call and actually change the
+// schedule — the point of a what-if.
+func TestReplayWhatIf(t *testing.T) {
+	mdl, fed := tinyWorkload()
+	n := fed.NumDevices()
+	roundBytes := int64(3 * 2 * mdl.NumParams() * 8)
+	rec, evs, _ := recordTraced(t, replaySyncConfig(n))
+
+	alternatives := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"tighter-deadline", func(c *Config) { c.VTime.DeadlineSeconds = 0.9 }},
+		{"round-bytes", func(c *Config) {
+			c.VTime.DeadlineSeconds = 0
+			c.VTime.RoundBytes = roundBytes
+		}},
+		{"async-alpha", func(c *Config) {
+			c.VTime.DeadlineSeconds = 0
+			c.Async = AsyncConfig{Mode: AsyncTotal, Alpha: 0.5, StalenessExponent: 1}
+		}},
+		{"buffered-k", func(c *Config) {
+			c.VTime.DeadlineSeconds = 0
+			c.Async = AsyncConfig{Mode: Buffered, BufferK: 3}
+		}},
+	}
+	for _, alt := range alternatives {
+		t.Run(alt.name, func(t *testing.T) {
+			cfg := replaySyncConfig(n)
+			alt.mutate(&cfg)
+			cfg.Solver = panicSolver{}
+			rep, _ := replayTraced(t, cfg, evs)
+			if len(rep.Arrivals) == 0 {
+				t.Fatal("what-if replay recorded no arrivals")
+			}
+			if rep.Final().VirtualSeconds <= 0 {
+				t.Fatalf("what-if replay has no virtual duration: %+v", rep.Final())
+			}
+			same := len(rep.Arrivals) == len(rec.Arrivals)
+			if same {
+				for i := range rep.Arrivals {
+					if rep.Arrivals[i] != rec.Arrivals[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Fatal("alternative policy reproduced the recorded schedule exactly — what-if had no effect")
+			}
+		})
+	}
+}
+
+// TestReplayRejections: configurations whose behavior replay cannot
+// re-derive are refused up front with a pointed error.
+func TestReplayRejections(t *testing.T) {
+	_, fed := tinyWorkload()
+	n := fed.NumDevices()
+	_, evs, _ := recordTraced(t, replaySyncConfig(n))
+
+	reject := func(name, wantSub string, mutate func(*Config)) {
+		t.Run(name, func(t *testing.T) {
+			mdl, fed := tinyWorkload()
+			cfg := replaySyncConfig(n)
+			mutate(&cfg)
+			_, err := Replay(mdl, fed.Fleet(), cfg, evs)
+			if err == nil {
+				t.Fatal("replay accepted a config it cannot re-derive")
+			}
+			if !strings.Contains(err.Error(), wantSub) {
+				t.Fatalf("rejection %q does not mention %q", err, wantSub)
+			}
+		})
+	}
+	reject("no-vtime", "VTime.Model", func(c *Config) { c.VTime = VTimeConfig{} })
+	reject("adaptive-mu", "adaptive-mu", func(c *Config) { c.AdaptiveMu = true })
+	reject("track-gamma", "gamma", func(c *Config) { c.TrackGamma = true })
+
+	t.Run("fleet-size-mismatch", func(t *testing.T) {
+		mdl, fed := tinyWorkload()
+		cfg := replaySyncConfig(n)
+		small := fed.Fleet()
+		// Replay against a fleet with one device fewer than recorded.
+		_, err := Replay(mdl, truncatedFleet{small, small.NumDevices() - 1}, cfg, evs)
+		if err == nil || !strings.Contains(err.Error(), "devices") {
+			t.Fatalf("fleet mismatch not rejected: %v", err)
+		}
+	})
+
+	t.Run("untimed-trace", func(t *testing.T) {
+		mdl, fed := tinyWorkload()
+		clockless := FedProx(3, 5, 3, 0.01, 1)
+		var buf bytes.Buffer
+		clockless.Trace = obs.NewJSONL(&buf)
+		if _, err := Run(mdl, fed, clockless); err != nil {
+			t.Fatal(err)
+		}
+		untimed, err := tracefile.ReadAll(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(mdl, fed.Fleet(), replaySyncConfig(n), untimed); err == nil {
+			t.Fatal("replay accepted an untimed trace")
+		}
+	})
+
+	t.Run("sync-with-worker-loss", func(t *testing.T) {
+		mdl, fed := tinyWorkload()
+		withLoss := append(append([]obs.Event(nil), evs...), obs.Event{
+			Kind: obs.KindWorkerLost, Time: 1, Device: 0,
+		})
+		if _, err := Replay(mdl, fed.Fleet(), replaySyncConfig(n), withLoss); err == nil {
+			t.Fatal("sync replay accepted worker-lost events")
+		}
+	})
+}
+
+// truncatedFleet narrows a fleet to its first n devices.
+type truncatedFleet struct {
+	Fleet
+	n int
+}
+
+func (f truncatedFleet) NumDevices() int { return f.n }

@@ -5,11 +5,119 @@ import (
 	"time"
 
 	"fedprox/internal/core"
+	"fedprox/internal/model"
 	"fedprox/internal/vtime"
 )
 
 func init() {
 	register("ext-vtime", "virtual-time simulation: sync vs async vs straggler policies under a 10x-slow tail", extVTime)
+}
+
+// The ext-vtime fleet shape: the last 10% of devices compute 10x slower.
+const (
+	vtimeSlowFactor      = 10
+	vtimeTailFrac        = 0.1
+	vtimeSecondsPerEpoch = 0.05
+)
+
+// vtimeNet is the shared network model all ext-vtime cases charge
+// transfer time against.
+var vtimeNet = vtime.Net{UplinkBps: 1e6, DownlinkBps: 4e6, Latency: 0.02, JitterStd: 0.1}
+
+// vtimeCase is one named configuration of the ext-vtime sweep.
+type vtimeCase struct {
+	name string
+	cfg  core.Config
+}
+
+// extVTimeCases builds the workload and the six-case sweep — the single
+// source of truth for what ext-vtime runs, shared by the experiment
+// itself and by ReplayCases (cmd/fedtrace must rebuild the exact
+// configuration a recorded case executed under).
+func extVTimeCases(o Options) (workload, []vtimeCase) {
+	w := o.syntheticWorkload(1, 1, false)
+	base := o.base(w)
+	// The paper's systems-heterogeneity knob (partial epoch budgets)
+	// stays on, as in ext-async.
+	base.StragglerFraction = 0.5
+
+	n := w.fed.NumDevices()
+	lat := vtime.MustModel(
+		vtime.UniformCompute{SecondsPerEpoch: vtimeSecondsPerEpoch, Speed: vtime.SlowTail(n, vtimeTailFrac, vtimeSlowFactor)},
+		vtimeNet,
+		o.Seed+101,
+	)
+	vt := core.VTimeConfig{Model: lat}
+
+	// Policy defaults derived from the model: the deadline fits a full
+	// nominal round-trip with ~2x headroom (the 10x tail cannot make
+	// it); the byte budget pays for ~70% of a full round's traffic, so
+	// the latest ~30% of arrivals are dropped by bytes.
+	paramBytes := float64(w.mdl.NumParams() * 8)
+	deadline := o.VTimeDeadline
+	if deadline == 0 {
+		nominal := paramBytes/vtimeNet.DownlinkBps + float64(o.LocalEpochs)*vtimeSecondsPerEpoch + paramBytes/vtimeNet.UplinkBps + 2*vtimeNet.Latency
+		deadline = 2 * nominal
+	}
+	roundBytes := o.VTimeRoundBytes
+	if roundBytes == 0 {
+		roundBytes = int64(0.7 * float64(base.ClientsPerRound) * 2 * paramBytes)
+	}
+	withDeadline := vt
+	withDeadline.DeadlineSeconds = deadline
+	withBudget := vt
+	withBudget.RoundBytes = roundBytes
+
+	async := core.AsyncConfig{
+		Mode:              core.AsyncTotal,
+		Alpha:             o.AsyncAlpha,
+		StalenessExponent: o.AsyncStalenessExp,
+	}
+	buffered := async
+	buffered.Mode = core.Buffered
+	buffered.BufferK = o.AsyncBufferK
+
+	vtimed := func(cfg core.Config, v core.VTimeConfig) core.Config {
+		cfg.VTime = v
+		return cfg
+	}
+	return w, []vtimeCase{
+		{"sync-drop", vtimed(fedavg(base), vt)},
+		{"sync-partial", vtimed(fedprox(base, w.bestMu), vt)},
+		{"sync-deadline", vtimed(fedprox(base, w.bestMu), withDeadline)},
+		{"sync-budget", vtimed(fedprox(base, w.bestMu), withBudget)},
+		{"async", vtimed(withAsync(fedprox(base, w.bestMu), async), vt)},
+		{"buffered", vtimed(withAsync(fedprox(base, w.bestMu), buffered), vt)},
+	}
+}
+
+// ReplayCase is one named (model, fleet, config) triple of a
+// trace-recording experiment: everything cmd/fedtrace needs to replay a
+// recorded run segment under the recorded — or an alternative — policy
+// via core.Replay.
+type ReplayCase struct {
+	Name   string
+	Model  model.Model
+	Fleet  core.Fleet
+	Config core.Config
+}
+
+// ReplayCases reconstructs the case list an experiment ran, in emission
+// order: a multi-run trace's i-th run segment was produced by the i-th
+// case. Match by index, not by label — core.Label is ambiguous between
+// cases that differ only in clock policy (sync-partial vs
+// sync-deadline). The returned Configs carry no trace sink.
+func ReplayCases(id string, o Options) ([]ReplayCase, error) {
+	if id != "ext-vtime" {
+		return nil, fmt.Errorf("experiments: %q does not record replayable virtual-time traces (only ext-vtime does)", id)
+	}
+	o.Trace = nil
+	w, cases := extVTimeCases(o)
+	out := make([]ReplayCase, len(cases))
+	for i, tc := range cases {
+		out[i] = ReplayCase{Name: tc.name, Model: w.mdl, Fleet: w.fed.Fleet(), Config: tc.cfg}
+	}
+	return out, nil
 }
 
 // extVTime is the offline counterpart of ext-async: the same aggregation
@@ -40,74 +148,15 @@ func init() {
 // ClientsPerRound folds — minus what a policy deliberately drops), so
 // virtual-duration differences are pure scheduling.
 func extVTime(o Options) (*Result, error) {
-	w := o.syntheticWorkload(1, 1, false)
-	base := o.base(w)
-	// The paper's systems-heterogeneity knob (partial epoch budgets)
-	// stays on, as in ext-async.
-	base.StragglerFraction = 0.5
-
+	w, cases := extVTimeCases(o)
 	n := w.fed.NumDevices()
-	const slowFactor = 10
-	const tailFrac = 0.1
-	const secondsPerEpoch = 0.05
-	net := vtime.Net{UplinkBps: 1e6, DownlinkBps: 4e6, Latency: 0.02, JitterStd: 0.1}
-	model := vtime.MustModel(
-		vtime.UniformCompute{SecondsPerEpoch: secondsPerEpoch, Speed: vtime.SlowTail(n, tailFrac, slowFactor)},
-		net,
-		o.Seed+101,
-	)
-	vt := core.VTimeConfig{Model: model}
-
-	// Policy defaults derived from the model: the deadline fits a full
-	// nominal round-trip with ~2x headroom (the 10x tail cannot make
-	// it); the byte budget pays for ~70% of a full round's traffic, so
-	// the latest ~30% of arrivals are dropped by bytes.
-	paramBytes := float64(w.mdl.NumParams() * 8)
-	deadline := o.VTimeDeadline
-	if deadline == 0 {
-		nominal := paramBytes/net.DownlinkBps + float64(o.LocalEpochs)*secondsPerEpoch + paramBytes/net.UplinkBps + 2*net.Latency
-		deadline = 2 * nominal
-	}
-	roundBytes := o.VTimeRoundBytes
-	if roundBytes == 0 {
-		roundBytes = int64(0.7 * float64(base.ClientsPerRound) * 2 * paramBytes)
-	}
-	withDeadline := vt
-	withDeadline.DeadlineSeconds = deadline
-	withBudget := vt
-	withBudget.RoundBytes = roundBytes
-
-	async := core.AsyncConfig{
-		Mode:              core.AsyncTotal,
-		Alpha:             o.AsyncAlpha,
-		StalenessExponent: o.AsyncStalenessExp,
-	}
-	buffered := async
-	buffered.Mode = core.Buffered
-	buffered.BufferK = o.AsyncBufferK
-
-	vtimed := func(cfg core.Config, v core.VTimeConfig) core.Config {
-		cfg.VTime = v
-		return cfg
-	}
-	cases := []struct {
-		name string
-		cfg  core.Config
-	}{
-		{"sync-drop", vtimed(fedavg(base), vt)},
-		{"sync-partial", vtimed(fedprox(base, w.bestMu), vt)},
-		{"sync-deadline", vtimed(fedprox(base, w.bestMu), withDeadline)},
-		{"sync-budget", vtimed(fedprox(base, w.bestMu), withBudget)},
-		{"async", vtimed(withAsync(fedprox(base, w.bestMu), async), vt)},
-		{"buffered", vtimed(withAsync(fedprox(base, w.bestMu), buffered), vt)},
-	}
 
 	res := &Result{
 		ID: "ext-vtime",
 		Title: fmt.Sprintf("virtual-time disciplines under a %dx-slow %.0f%% tail (%d devices, deterministic clock)",
-			slowFactor, tailFrac*100, n),
+			vtimeSlowFactor, vtimeTailFrac*100, n),
 	}
-	sec := Section{Name: w.fed.Name + fmt.Sprintf(" + %dx-slow tail", slowFactor)}
+	sec := Section{Name: w.fed.Name + fmt.Sprintf(" + %dx-slow tail", vtimeSlowFactor)}
 	var syncVT, asyncVT float64
 	for _, tc := range cases {
 		start := time.Now()

@@ -52,90 +52,37 @@ func (j *JSONL) Err() error {
 }
 
 // AppendEvent appends e's JSONL line (including the trailing newline)
-// to buf. The field set and order per kind is the trace schema —
-// documented in the README's Observability section — and is fixed:
-// every field a kind lists is always present (values are deterministic
-// given a seed), except fields whose absence is part of the schema
-// ("t", "rel", and "secs" are omitted when NaN — clockless runs — and
-// a span's "device" is omitted when negative).
+// to buf. The field set and order per kind is the trace schema — the
+// shared table in schema.go, documented in the README's Observability
+// section — and is fixed: every field a kind lists is always present
+// (values are deterministic given a seed), except fields whose absence
+// is part of the schema ("t", "rel", and "secs" are omitted when NaN —
+// clockless runs — and a span's "device" is omitted when negative).
+// internal/obs/tracefile decodes by walking the same table, so
+// decode→re-encode is byte-identical.
 func AppendEvent(buf []byte, e Event) []byte {
 	buf = append(buf, `{"kind":"`...)
 	buf = append(buf, e.Kind.String()...)
 	buf = append(buf, '"')
-	if !math.IsNaN(e.Time) {
-		buf = appendFloat(buf, "t", e.Time)
-	}
-	switch e.Kind {
-	case KindRunStart:
-		buf = appendString(buf, "label", e.Label)
-		buf = appendInt(buf, "n", e.N)
-	case KindRoundOpen:
-		buf = appendInt(buf, "round", e.Round)
-		buf = appendInt(buf, "n", e.N)
-	case KindDispatch:
-		buf = appendInt(buf, "round", e.Round)
-		buf = appendInt(buf, "seq", e.Seq)
-		buf = appendInt(buf, "device", e.Device)
-		buf = appendInt(buf, "version", e.Version)
-		buf = appendInt(buf, "epochs", e.Epochs)
-		buf = appendInt(buf, "budget", e.Budget)
-		buf = appendInt64(buf, "down", e.BytesDown)
-	case KindReply:
-		buf = appendInt(buf, "seq", e.Seq)
-		buf = appendInt(buf, "device", e.Device)
-		buf = appendInt(buf, "version", e.Version)
-		buf = appendInt(buf, "stale", e.Staleness)
-		buf = appendInt(buf, "done", e.EpochsDone)
-		buf = appendInt64(buf, "up", e.BytesUp)
-		buf = appendInt64(buf, "down", e.BytesDown)
-		if !math.IsNaN(e.Seconds) {
-			buf = appendFloat(buf, "rel", e.Seconds)
+	for _, f := range Fields(e.Kind) {
+		switch f.Type {
+		case FieldInt:
+			v := f.Int(&e)
+			if f.OmitNeg && v < 0 {
+				continue
+			}
+			buf = appendInt(buf, f.Key, v)
+		case FieldInt64:
+			buf = appendInt64(buf, f.Key, f.Int64(&e))
+		case FieldFloat:
+			v := f.Float(&e)
+			if f.OmitNaN && math.IsNaN(v) {
+				continue
+			}
+			buf = appendFloat(buf, f.Key, v)
+		case FieldString:
+			buf = appendString(buf, f.Key, f.Str(&e))
 		}
-		buf = appendString(buf, "drop", e.Disposition)
-	case KindDrop:
-		buf = appendInt(buf, "round", e.Round)
-		buf = appendInt(buf, "device", e.Device)
-		buf = appendString(buf, "drop", e.Disposition)
-	case KindFold:
-		buf = appendInt(buf, "round", e.Round)
-		buf = appendInt(buf, "version", e.Version)
-		buf = appendInt(buf, "n", e.N)
-	case KindRoundClose:
-		buf = appendInt(buf, "round", e.Round)
-		buf = appendInt(buf, "n", e.N)
-		if !math.IsNaN(e.Seconds) {
-			buf = appendFloat(buf, "secs", e.Seconds)
-		}
-	case KindEval:
-		buf = appendInt(buf, "round", e.Round)
-		buf = appendFloat(buf, "loss", e.Loss)
-		buf = appendFloat(buf, "acc", e.Acc)
-	case KindCheckpoint:
-		buf = appendInt(buf, "round", e.Round)
-	case KindWorkerJoin:
-		buf = appendInt(buf, "n", e.N)
-	case KindWorkerLost, KindWorkerReadmit:
-		buf = appendInt(buf, "device", e.Device)
-	case KindDeviceDispatch:
-		buf = appendInt(buf, "round", e.Round)
-		buf = appendInt(buf, "seq", e.Seq)
-		buf = appendInt(buf, "device", e.Device)
-		buf = appendInt(buf, "done", e.EpochsDone)
-		buf = appendInt64(buf, "up", e.BytesUp)
-		buf = appendInt64(buf, "down", e.BytesDown)
-	case KindDeviceEval:
-		buf = appendInt(buf, "seq", e.Seq)
-		buf = appendInt(buf, "n", e.N)
-	case KindSpan:
-		buf = appendString(buf, "label", e.Label)
-		if e.Device >= 0 {
-			buf = appendInt(buf, "device", e.Device)
-		}
-		if !math.IsNaN(e.Seconds) {
-			buf = appendFloat(buf, "secs", e.Seconds)
-		}
-	case KindRunDone:
-		// kind and time only
 	}
 	return append(buf, '}', '\n')
 }

@@ -66,6 +66,10 @@ var secondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 
 // Emit maps one event onto the fedprox_* metric set.
 func (r *Registry) Emit(e Event) {
+	// Per-kind event counters let a live run's /metrics be cross-checked
+	// against its JSONL trace for event loss: every kind a sink saw is
+	// counted here under the same wire name tracefile decodes.
+	r.Add("fedprox_trace_events_total", "Events emitted, by kind.", labels("kind", e.Kind.String()), 1)
 	switch e.Kind {
 	case KindRunStart:
 		r.Add("fedprox_runs_total", "Runs started.", "", 1)
