@@ -40,11 +40,13 @@ func main() {
 
 		codecFlags cli.Codec
 		asyncFlags cli.Async
+		tierFlags  cli.Tier
 		vtimeFlags cli.VTime
 		traceFlags cli.Trace
 	)
 	codecFlags.Register(flag.CommandLine)
 	asyncFlags.RegisterOverrides(flag.CommandLine)
+	tierFlags.Register(flag.CommandLine)
 	vtimeFlags.Register(flag.CommandLine)
 	traceFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -91,6 +93,13 @@ func main() {
 	opts.AsyncBufferK = asyncFlags.BufferK
 	opts.VTimeDeadline = vtimeFlags.Deadline
 	opts.VTimeRoundBytes = vtimeFlags.RoundBytes
+	tierFan, tierLatency, err := tierFlags.SimOverride()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+		os.Exit(2)
+	}
+	opts.TierFanOut = tierFan
+	opts.TierLatency = tierLatency
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -16,18 +16,33 @@
 //	fedworker -addr localhost:7070 -workload synthetic -workers 3 -index 0 &
 //	fedworker -addr localhost:7070 -workload synthetic -workers 3 -index 1 &
 //	fedworker -addr localhost:7070 -workload synthetic -workers 3 -index 2
+//
+// Hierarchical aggregation (-tier) turns the deployment into a process
+// tree: the root's "devices" are edge aggregators, each edge owns a
+// contiguous slice of the fleet and folds -fanout device replies into
+// one upstream reply per round. Every process agrees on -clients and
+// -fanout; the tree has clients/fanout edges:
+//
+//	fedserver -tier root -fanout 4 -clients 8 -addr :7070 &
+//	fedserver -tier edge -fanout 4 -clients 8 -index 0 -parent localhost:7070 -addr :7071 &
+//	fedserver -tier edge -fanout 4 -clients 8 -index 1 -parent localhost:7070 -addr :7072 &
+//	fedworker -tier edge -fanout 4 -workers 2 -index 0 -addr localhost:7071 &
+//	fedworker -tier edge -fanout 4 -workers 2 -index 1 -addr localhost:7072
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fedprox/internal/cli"
 	"fedprox/internal/core"
 	"fedprox/internal/experiments"
 	"fedprox/internal/fednet"
+	"fedprox/internal/frand"
 	"fedprox/internal/obs"
+	"fedprox/internal/tier"
 )
 
 func main() {
@@ -44,17 +59,24 @@ func main() {
 		evalEvery  = flag.Int("eval-every", 5, "evaluation interval in rounds")
 		seed       = flag.Uint64("seed", 7, "environment seed (must match workers' -data-seed usage)")
 		reqTimeout = flag.Duration("request-timeout", 0, "per-reply timeout before a worker is declared dead (0 = wait forever)")
+		parent     = flag.String("parent", "", "parent coordinator address (with -tier edge)")
+		index      = flag.Int("index", 0, "this edge's index among the tree's edges (with -tier edge)")
 
 		codecFlags cli.Codec
 		asyncFlags cli.Async
+		tierFlags  cli.Tier
 		traceFlags cli.Trace
 		debugFlags cli.Debug
 	)
 	codecFlags.Register(flag.CommandLine)
 	asyncFlags.Register(flag.CommandLine)
+	tierFlags.Register(flag.CommandLine)
 	traceFlags.Register(flag.CommandLine)
 	debugFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := tierFlags.ServerRole(*parent); err != nil {
+		fail(err)
+	}
 
 	opts := experiments.Full()
 	opts.Scale = *scale
@@ -101,16 +123,69 @@ func main() {
 	}
 	cfg.Trace = obs.WallClock(obs.Multi(sinks...))
 
+	expect := w.Fed.NumDevices()
+	switch tierFlags.Role {
+	case "edge":
+		// An edge aggregator: accept this edge's slice of the fleet as a
+		// child deployment, and join the parent as one pseudo-device.
+		edges, err := tierFlags.Cohort(*clients)
+		if err != nil {
+			fail(err)
+		}
+		if *index < 0 || *index >= edges {
+			fail(fmt.Errorf("-index %d outside [0,%d)", *index, edges))
+		}
+		lo, hi := tier.Partition(w.Fed.NumDevices(), edges, *index)
+		// Each edge runs its own selection streams: decorrelate them the
+		// way the simulator's tiered driver seeds its nodes.
+		cfg.Seed = frand.New(*seed).Split("tier").SplitIndex(*index).State()
+		edge, err := fednet.NewEdge(w.Model, fednet.EdgeConfig{
+			Training:       cfg,
+			ExpectDevices:  hi - lo,
+			DeviceID:       *index,
+			FanOut:         tierFlags.FanOut,
+			RequestTimeout: *reqTimeout,
+			LegLatency:     time.Duration(tierFlags.Latency * float64(time.Second)),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("fedserver: edge %d/%d on %s — devices [%d,%d) of %s, folding %d per window into %s\n",
+			*index, edges, *addr, lo, hi, w.Fed.Name, tierFlags.FanOut, *parent)
+		if err := edge.Run(*addr, *parent); err != nil {
+			fail(err)
+		}
+		if err := closeTrace(); err != nil {
+			fail(err)
+		}
+		read, written := edge.BytesOnWire()
+		fmt.Printf("fedserver: edge %d done — child wire %dKB in / %dKB out\n", *index, read/1024, written/1024)
+		return
+	case "root":
+		// The tree's root: its "devices" are the edge aggregators, one
+		// pseudo-device each, and every edge participates every round.
+		// Stragglers are an edge-local phenomenon — each edge applies
+		// -stragglers to its own window.
+		cohort, err := tierFlags.Cohort(*clients)
+		if err != nil {
+			fail(err)
+		}
+		cfg.ClientsPerRound = cohort
+		cfg.StragglerFraction = 0
+		expect = cohort
+	}
+
 	srv, err := fednet.NewServer(w.Model, fednet.ServerConfig{
 		Training:       cfg,
-		ExpectDevices:  w.Fed.NumDevices(),
+		ExpectDevices:  expect,
 		RequestTimeout: *reqTimeout,
+		Tier:           tierFlags.RootTier(),
 	})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("fedserver: %s on %s — waiting for %d devices\n",
-		core.Label(cfg), *addr, w.Fed.NumDevices())
+		core.Label(cfg), *addr, expect)
 	if cfg.Async.Enabled() {
 		fmt.Println("fedserver: async mode — evicted workers may reconnect and will be re-admitted mid-run")
 	}

@@ -93,12 +93,28 @@ type roundStats struct {
 	loss, acc  float64
 }
 
-// deviceStats attributes reply latency to one device across a run.
+// deviceStats attributes reply latency to one device across a run. In a
+// tiered trace the same device number recurs at every tier (edge-local
+// IDs are 0-based), so attribution keys on (tier, device).
 type deviceStats struct {
+	tier    int
 	device  int
 	total   float64
 	replies int
 	dropped int
+}
+
+// tierStats rolls a run's traffic up by the emitting coordinator's tier
+// (0 = the tree's root, whose devices are edge aggregators; leaves are
+// the deepest tier). Untiered events (tier -1) stay out of the rollup.
+type tierStats struct {
+	dispatches int
+	folds      int
+	folded     int
+	dropped    int
+	bytesDown  int64
+	bytesUp    int64
+	rels       []float64
 }
 
 func quantile(sorted []float64, q float64) float64 {
@@ -132,8 +148,13 @@ func cmdSummary(args []string) {
 	}
 	var (
 		run      = -1
+		runLabel string
+		runN     int
+		runNodes int
+		dispSeen bool // any dispatch since the last run-start
 		cur      = newRound()
-		devs     = map[int]*deviceStats{}
+		devs     = map[[2]int]*deviceStats{}
+		tiers    = map[int]*tierStats{}
 		rows     []*roundStats
 		totDown  int64
 		totUp    int64
@@ -142,6 +163,11 @@ func cmdSummary(args []string) {
 	flushRun := func() {
 		if run < 0 {
 			return
+		}
+		if runNodes > 1 {
+			fmt.Printf("\n== run %d: %q (%d devices at the root, %d tree nodes)\n", run, runLabel, runN, runNodes)
+		} else {
+			fmt.Printf("\n== run %d: %q (%d devices)\n", run, runLabel, runN)
 		}
 		fmt.Printf("\n%-6s %5s %6s %6s %8s %8s %8s %11s %11s %8s %9s\n",
 			"round", "disp", "folded", "drop", "p50", "p90", "p99", "bytes-down", "bytes-up", "secs", "loss")
@@ -163,8 +189,41 @@ func cmdSummary(args []string) {
 				r.bytesDown, r.bytesUp, fmtSecs(r.secs), loss)
 		}
 		fmt.Printf("totals: %d bytes down, %d bytes up, %d evals\n", totDown, totUp, totEvals)
+
+		// Per-tier rollup: present whenever the run carried tier stamps
+		// (a tiered simulation interleaves every node's events; a fednet
+		// root or edge process stamps its own tier).
+		maxTier := -1
+		for t := range tiers {
+			if t > maxTier {
+				maxTier = t
+			}
+		}
+		if maxTier >= 0 {
+			fmt.Println("per-tier rollup (tier 0 = root; its devices are edge aggregators):")
+			fmt.Printf("%-6s %5s %6s %6s %6s %8s %8s %8s %11s %11s\n",
+				"tier", "disp", "folded", "drop", "folds", "p50", "p90", "p99", "bytes-down", "bytes-up")
+			for t := 0; t <= maxTier; t++ {
+				ts := tiers[t]
+				if ts == nil {
+					continue
+				}
+				sort.Float64s(ts.rels)
+				fmt.Printf("%-6d %5d %6d %6d %6d %8s %8s %8s %11d %11d\n",
+					t, ts.dispatches, ts.folded, ts.dropped, ts.folds,
+					fmtSecs(quantile(ts.rels, 0.5)), fmtSecs(quantile(ts.rels, 0.9)), fmtSecs(quantile(ts.rels, 0.99)),
+					ts.bytesDown, ts.bytesUp)
+			}
+		}
+
+		// Straggler attribution. In a tiered run the interesting laggards
+		// are the leaf devices (deepest tier); the root's own slowest
+		// child names the edge that held every round open.
 		top := make([]*deviceStats, 0, len(devs))
 		for _, ds := range devs {
+			if maxTier >= 0 && ds.tier != maxTier {
+				continue
+			}
 			top = append(top, ds)
 		}
 		sort.Slice(top, func(i, j int) bool { return top[i].total > top[j].total })
@@ -178,13 +237,46 @@ func cmdSummary(args []string) {
 					ds.device, ds.total, ds.replies, ds.dropped)
 			}
 		}
+		if maxTier > 0 {
+			var slow *deviceStats
+			for _, ds := range devs {
+				if ds.tier != 0 {
+					continue
+				}
+				if slow == nil || ds.total > slow.total {
+					slow = ds
+				}
+			}
+			if slow != nil && slow.total > 0 {
+				fmt.Printf("slow edge: edge %d held the root longest — %.3fs cumulative reply latency over %d replies, %d dropped\n",
+					slow.device, slow.total, slow.replies, slow.dropped)
+			}
+		}
 	}
 	startRun := func(e obs.Event) {
+		// A run-start before any dispatch of the current run is another
+		// node of the same hierarchical run coming up (every tier edge
+		// announces itself before the root opens round 0): fold it in
+		// rather than starting a new run. The root announces last, so its
+		// label and cohort win the header.
+		if run >= 0 && !dispSeen {
+			runLabel, runN = e.Label, e.N
+			runNodes++
+			return
+		}
 		flushRun()
 		run++
-		cur, devs, rows = newRound(), map[int]*deviceStats{}, nil
+		runLabel, runN, runNodes, dispSeen = e.Label, e.N, 1, false
+		cur, devs, tiers, rows = newRound(), map[[2]int]*deviceStats{}, map[int]*tierStats{}, nil
 		totDown, totUp, totEvals = 0, 0, 0
-		fmt.Printf("\n== run %d: %q (%d devices)\n", run, e.Label, e.N)
+	}
+	tierRow := func(t int) *tierStats {
+		ts := tiers[t]
+		if ts == nil {
+			ts = &tierStats{}
+			tiers[t] = ts
+		}
+		return ts
 	}
 	for {
 		e, err := d.Next()
@@ -198,9 +290,15 @@ func cmdSummary(args []string) {
 		case obs.KindRunStart:
 			startRun(e)
 		case obs.KindDispatch:
+			dispSeen = true
 			cur.dispatches++
 			cur.bytesDown += e.BytesDown
 			totDown += e.BytesDown
+			if e.Tier >= 0 {
+				ts := tierRow(e.Tier)
+				ts.dispatches++
+				ts.bytesDown += e.BytesDown
+			}
 		case obs.KindReply:
 			cur.bytesUp += e.BytesUp
 			totUp += e.BytesUp
@@ -208,10 +306,10 @@ func cmdSummary(args []string) {
 				cur.rels = append(cur.rels, e.Seconds)
 			}
 			cur.dispo[e.Disposition]++
-			ds := devs[e.Device]
+			ds := devs[[2]int{e.Tier, e.Device}]
 			if ds == nil {
-				ds = &deviceStats{device: e.Device}
-				devs[e.Device] = ds
+				ds = &deviceStats{tier: e.Tier, device: e.Device}
+				devs[[2]int{e.Tier, e.Device}] = ds
 			}
 			ds.replies++
 			if !math.IsNaN(e.Seconds) {
@@ -220,17 +318,59 @@ func cmdSummary(args []string) {
 			if e.Disposition != "folded" {
 				ds.dropped++
 			}
+			if e.Tier >= 0 {
+				ts := tierRow(e.Tier)
+				ts.bytesUp += e.BytesUp
+				if !math.IsNaN(e.Seconds) {
+					ts.rels = append(ts.rels, e.Seconds)
+				}
+				if e.Disposition == "folded" {
+					ts.folded++
+				} else {
+					ts.dropped++
+				}
+			}
 		case obs.KindDrop:
 			cur.dispo[e.Disposition]++
+		case obs.KindFold:
+			if e.Tier >= 0 {
+				tierRow(e.Tier).folds++
+			}
 		case obs.KindRoundClose:
-			cur.round = e.Round
-			cur.secs = e.Seconds
-			rows = append(rows, cur)
+			// A tiered run closes the same round once per node (edges
+			// first, the root last): merge those into one row so the
+			// table stays one line per round, keeping the root's timed
+			// duration when it has one.
+			if n := len(rows); n > 0 && rows[n-1].round == e.Round {
+				prev := rows[n-1]
+				prev.dispatches += cur.dispatches
+				prev.bytesDown += cur.bytesDown
+				prev.bytesUp += cur.bytesUp
+				prev.rels = append(prev.rels, cur.rels...)
+				for k, v := range cur.dispo {
+					prev.dispo[k] += v
+				}
+				if !math.IsNaN(e.Seconds) {
+					prev.secs = e.Seconds
+				}
+				if !math.IsNaN(cur.loss) {
+					prev.loss, prev.acc = cur.loss, cur.acc
+				}
+			} else {
+				cur.round = e.Round
+				cur.secs = e.Seconds
+				rows = append(rows, cur)
+			}
 			cur = newRound()
 		case obs.KindEval:
 			totEvals++
 			// An eval stamps the most recent closed row when it follows
-			// the close (sync cadence), else the open window.
+			// the close (sync cadence), else the open window. Stepped
+			// edges answer the eval command with a NaN placeholder — only
+			// finite losses land in the table.
+			if math.IsNaN(e.Loss) {
+				break
+			}
 			if n := len(rows); n > 0 && rows[n-1].round == e.Round {
 				rows[n-1].loss, rows[n-1].acc = e.Loss, e.Acc
 			} else {

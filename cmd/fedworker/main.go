@@ -38,12 +38,17 @@ func main() {
 		privStd  = flag.Float64("privacy-noise", 0, "update-level DP: Gaussian noise std added per coordinate of the delta (0 disables noise)")
 		privSeed = flag.Uint64("privacy-seed", 0, "seed of the DP noise streams (with -privacy-noise)")
 
+		tierFlags  cli.Tier
 		traceFlags cli.Trace
 		debugFlags cli.Debug
 	)
+	tierFlags.Register(flag.CommandLine)
 	traceFlags.Register(flag.CommandLine)
 	debugFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := tierFlags.Validate(); err != nil {
+		fail(err)
+	}
 	if *index < 0 || *index >= *workers {
 		fail(fmt.Errorf("index %d outside [0,%d)", *index, *workers))
 	}
@@ -64,10 +69,26 @@ func main() {
 		}
 	}
 
-	// Round-robin shard assignment: worker i hosts devices i, i+W, i+2W...
 	var shards []*data.Shard
-	for k := *index; k < fed.NumDevices(); k += *workers {
-		shards = append(shards, fed.Shards[k])
+	if tierFlags.Enabled() {
+		// Under -tier edge, -workers counts the tree's edges and -index
+		// names which edge this worker serves: it hosts that edge's
+		// contiguous fleet slice under edge-local device IDs, matching
+		// the edge coordinator's 0-based view of its subtree.
+		lo, hi, err := tierFlags.WorkerSlice(fed.NumDevices(), *workers, *index)
+		if err != nil {
+			fail(err)
+		}
+		for g := lo; g < hi; g++ {
+			s := *fed.Shards[g]
+			s.ID = g - lo
+			shards = append(shards, &s)
+		}
+	} else {
+		// Round-robin shard assignment: worker i hosts devices i, i+W, i+2W...
+		for k := *index; k < fed.NumDevices(); k += *workers {
+			shards = append(shards, fed.Shards[k])
+		}
 	}
 
 	ls, err := pickSolver(*local)

@@ -2,7 +2,8 @@
 // share, each exactly once: the codec selection (-codec,
 // -downlink-codec, -bits, -topk), the asynchronous-aggregation knobs
 // (-async, -alpha, -staleness-exp, -buffer-k, -max-in-flight and the
-// fedbench "-async-*" override spellings), the virtual-time policy
+// fedbench "-async-*" override spellings), the hierarchical-aggregation
+// group (-tier, -fanout, -tier-latency), the virtual-time policy
 // overrides (-vtime-deadline, -vtime-round-bytes), the -trace JSONL
 // sink, and the -debug-addr metrics/pprof endpoint.
 //
@@ -26,6 +27,7 @@ import (
 	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/obs"
+	"fedprox/internal/tier"
 )
 
 // Codec is the model-update codec flag group: -codec, -downlink-codec,
@@ -123,6 +125,133 @@ func (a *Async) Config() (core.AsyncConfig, error) {
 		return core.AsyncConfig{Mode: core.Buffered, Alpha: a.Alpha, StalenessExponent: a.StalenessExp, BufferK: a.BufferK, MaxInFlight: a.MaxInFlight}, nil
 	default:
 		return core.AsyncConfig{}, fmt.Errorf("unknown -async mode %q (sync, async, buffered)", a.Mode)
+	}
+}
+
+// Tier is the hierarchical-aggregation flag group: -tier, -fanout,
+// -tier-latency. The role names a process's place in an aggregation
+// tree — fedserver is the tree's root or an edge aggregator, fedworker
+// serves the device slice of one edge, and fedbench's "sim" role
+// overrides the in-process ext-hier sweep — while -fanout and
+// -tier-latency shape the tree identically everywhere, so a deployment
+// and its simulation are described in the same vocabulary.
+type Tier struct {
+	Role    string
+	FanOut  int
+	Latency float64
+}
+
+// Register declares the group's flags on fs.
+func (t *Tier) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.Role, "tier", "", "hierarchical-aggregation role: root (accept edge folds), edge (fold children for a -parent), sim (fedbench: override the in-process sweep)")
+	fs.IntVar(&t.FanOut, "fanout", 0, "children each aggregator contacts per window (>= 2, requires -tier)")
+	fs.Float64Var(&t.Latency, "tier-latency", 0, "aggregator-leg latency in seconds (requires -tier): edges sleep it per parent exchange, fedbench prices it on the virtual backbone")
+}
+
+// Enabled reports whether a tier role was selected.
+func (t *Tier) Enabled() bool { return t.Role != "" }
+
+// Validate reports the group's cross-flag constraints: the shape flags
+// are meaningless without a role, and every role needs a real fan-out.
+func (t *Tier) Validate() error {
+	switch t.Role {
+	case "", "root", "edge", "sim":
+	default:
+		return fmt.Errorf("unknown -tier role %q (root, edge, sim)", t.Role)
+	}
+	if t.Role == "" && (t.FanOut != 0 || t.Latency != 0) {
+		return fmt.Errorf("-fanout and -tier-latency require -tier")
+	}
+	if t.Role != "" && t.FanOut < 2 {
+		return fmt.Errorf("-tier %s requires -fanout >= 2", t.Role)
+	}
+	if t.Latency < 0 {
+		return fmt.Errorf("-tier-latency must be non-negative, got %g", t.Latency)
+	}
+	return nil
+}
+
+// ServerRole validates the group for fedserver, which additionally owns
+// the -parent flag: an edge must have a parent to fold into, and a
+// parent address without the edge role is a configuration mistake.
+func (t *Tier) ServerRole(parent string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	switch t.Role {
+	case "sim":
+		return fmt.Errorf("-tier sim is a fedbench override; fedserver is root or edge")
+	case "edge":
+		if parent == "" {
+			return fmt.Errorf("-tier edge requires -parent")
+		}
+	default:
+		if parent != "" {
+			return fmt.Errorf("-parent requires -tier edge")
+		}
+	}
+	return nil
+}
+
+// Cohort returns clients/FanOut — the number of edge aggregators in a
+// one-tier tree, which is also the root's per-window cohort (the root
+// contacts every edge).
+func (t *Tier) Cohort(clients int) (int, error) {
+	if clients <= 0 || clients%t.FanOut != 0 {
+		return 0, fmt.Errorf("-fanout %d must divide -clients %d", t.FanOut, clients)
+	}
+	return clients / t.FanOut, nil
+}
+
+// WorkerSlice resolves which global device range [lo, hi) a fedworker
+// hosts under -tier edge: the slice of edge `index` of `edges` over n
+// devices. Workers are leaves — only the edge role applies, and the
+// aggregator-leg latency is not theirs to emulate.
+func (t *Tier) WorkerSlice(n, edges, index int) (lo, hi int, err error) {
+	if err := t.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if t.Role != "edge" {
+		return 0, 0, fmt.Errorf("-tier %s: a fedworker can only serve under an edge (-tier edge)", t.Role)
+	}
+	if t.Latency != 0 {
+		return 0, 0, fmt.Errorf("-tier-latency applies to aggregator legs, not workers")
+	}
+	if edges <= 0 || index < 0 || index >= edges {
+		return 0, 0, fmt.Errorf("edge index %d outside [0,%d)", index, edges)
+	}
+	if n < edges {
+		return 0, 0, fmt.Errorf("%d devices cannot cover %d edges", n, edges)
+	}
+	lo, hi = tier.Partition(n, edges, index)
+	return lo, hi, nil
+}
+
+// RootTier returns the core.CoordinatorOptions.Tier value of a
+// fedserver in this role: 1 (the tree's root) under -tier root, 0
+// (untiered) otherwise. Edges stamp their own depth via fednet.NewEdge.
+func (t *Tier) RootTier() int {
+	if t.Role == "root" {
+		return 1
+	}
+	return 0
+}
+
+// SimOverride resolves the group for fedbench: the in-process commands
+// take only the "sim" role, whose fan-out (and optional backbone
+// latency) replace the ext-hier sweep's defaults. With no role selected
+// it returns zeros.
+func (t *Tier) SimOverride() (fanout int, latency float64, err error) {
+	if err := t.Validate(); err != nil {
+		return 0, 0, err
+	}
+	switch t.Role {
+	case "":
+		return 0, 0, nil
+	case "sim":
+		return t.FanOut, t.Latency, nil
+	default:
+		return 0, 0, fmt.Errorf("-tier %s is a fedserver role; fedbench takes -tier sim", t.Role)
 	}
 }
 

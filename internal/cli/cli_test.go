@@ -101,6 +101,134 @@ func TestAsyncRegisterOverrides(t *testing.T) {
 	}
 }
 
+func TestTierValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{name: "empty", args: nil},
+		{name: "root", args: []string{"-tier", "root", "-fanout", "8"}},
+		{name: "edge-with-latency", args: []string{"-tier", "edge", "-fanout", "4", "-tier-latency", "0.02"}},
+		{name: "sim", args: []string{"-tier", "sim", "-fanout", "32"}},
+		{name: "fanout-without-tier", args: []string{"-fanout", "8"}, wantErr: "require -tier"},
+		{name: "latency-without-tier", args: []string{"-tier-latency", "0.5"}, wantErr: "require -tier"},
+		{name: "tier-without-fanout", args: []string{"-tier", "root"}, wantErr: "requires -fanout >= 2"},
+		{name: "fanout-one", args: []string{"-tier", "edge", "-fanout", "1"}, wantErr: "requires -fanout >= 2"},
+		{name: "negative-latency", args: []string{"-tier", "edge", "-fanout", "4", "-tier-latency", "-1"}, wantErr: "non-negative"},
+		{name: "unknown-role", args: []string{"-tier", "leaf", "-fanout", "4"}, wantErr: "unknown -tier role"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tr Tier
+			parse(t, tr.Register, tc.args...)
+			err := tr.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestTierServerRole(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		parent  string
+		wantErr string
+	}{
+		{name: "flat", args: nil},
+		{name: "root", args: []string{"-tier", "root", "-fanout", "8"}},
+		{name: "edge", args: []string{"-tier", "edge", "-fanout", "4"}, parent: "localhost:7070"},
+		{name: "edge-without-parent", args: []string{"-tier", "edge", "-fanout", "4"}, wantErr: "requires -parent"},
+		{name: "parent-without-edge", args: nil, parent: "localhost:7070", wantErr: "requires -tier edge"},
+		{name: "parent-on-root", args: []string{"-tier", "root", "-fanout", "8"}, parent: "localhost:7070", wantErr: "requires -tier edge"},
+		{name: "sim-on-server", args: []string{"-tier", "sim", "-fanout", "8"}, wantErr: "fedbench override"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tr Tier
+			parse(t, tr.Register, tc.args...)
+			err := tr.ServerRole(tc.parent)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestTierCohort(t *testing.T) {
+	tr := Tier{Role: "root", FanOut: 8}
+	if got, err := tr.Cohort(64); err != nil || got != 8 {
+		t.Fatalf("Cohort(64) = %d, %v; want 8", got, err)
+	}
+	if _, err := tr.Cohort(60); err == nil || !strings.Contains(err.Error(), "must divide") {
+		t.Fatalf("want divisibility error, got %v", err)
+	}
+}
+
+func TestTierWorkerSlice(t *testing.T) {
+	cases := []struct {
+		name        string
+		tier        Tier
+		n, edges, i int
+		lo, hi      int
+		wantErr     string
+	}{
+		{name: "first-edge", tier: Tier{Role: "edge", FanOut: 4}, n: 30, edges: 2, i: 0, lo: 0, hi: 15},
+		{name: "last-edge", tier: Tier{Role: "edge", FanOut: 4}, n: 30, edges: 2, i: 1, lo: 15, hi: 30},
+		{name: "root-worker", tier: Tier{Role: "root", FanOut: 4}, n: 30, edges: 2, i: 0, wantErr: "only serve under an edge"},
+		{name: "sim-worker", tier: Tier{Role: "sim", FanOut: 4}, n: 30, edges: 2, i: 0, wantErr: "only serve under an edge"},
+		{name: "worker-latency", tier: Tier{Role: "edge", FanOut: 4, Latency: 0.1}, n: 30, edges: 2, i: 0, wantErr: "not workers"},
+		{name: "index-out-of-range", tier: Tier{Role: "edge", FanOut: 4}, n: 30, edges: 2, i: 2, wantErr: "outside"},
+		{name: "too-few-devices", tier: Tier{Role: "edge", FanOut: 4}, n: 1, edges: 2, i: 0, wantErr: "cannot cover"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi, err := tc.tier.WorkerSlice(tc.n, tc.edges, tc.i)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo != tc.lo || hi != tc.hi {
+				t.Fatalf("slice [%d,%d), want [%d,%d)", lo, hi, tc.lo, tc.hi)
+			}
+		})
+	}
+}
+
+func TestTierSimOverride(t *testing.T) {
+	var none Tier
+	if f, l, err := none.SimOverride(); err != nil || f != 0 || l != 0 {
+		t.Fatalf("empty group: got %d, %g, %v", f, l, err)
+	}
+	sim := Tier{Role: "sim", FanOut: 16, Latency: 0.02}
+	if f, l, err := sim.SimOverride(); err != nil || f != 16 || l != 0.02 {
+		t.Fatalf("sim override: got %d, %g, %v", f, l, err)
+	}
+	root := Tier{Role: "root", FanOut: 8}
+	if _, _, err := root.SimOverride(); err == nil || !strings.Contains(err.Error(), "fedserver role") {
+		t.Fatalf("want fedserver-role error, got %v", err)
+	}
+}
+
 func TestTraceOpen(t *testing.T) {
 	// Empty path: nil sink, close is a working no-op.
 	var empty Trace

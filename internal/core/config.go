@@ -58,6 +58,35 @@ func (s SamplingScheme) String() string {
 	}
 }
 
+// FoldWeightScheme selects the per-update aggregation weight within the
+// sampling scheme's fold (the w_k in Σ w_k·Δ_k / Σ w_k under uniform
+// sampling; WeightedSimpleAvg ignores it by construction).
+type FoldWeightScheme int
+
+const (
+	// WeightBySize weighs each update by the device's local sample count
+	// n_k — the paper's prescription, which folds partial solutions at
+	// full weight and lets the proximal term absorb their inexactness.
+	WeightBySize FoldWeightScheme = iota
+	// WeightByEpochs weighs each update by the local epochs the device
+	// actually ran (Reply.EpochsDone), the ablation of the ROADMAP's
+	// epoch-budget-aware-weights item: if partial solutions should count
+	// less, the weights — not the prox term — would do the work.
+	WeightByEpochs
+)
+
+// String implements fmt.Stringer.
+func (f FoldWeightScheme) String() string {
+	switch f {
+	case WeightBySize:
+		return "weight-by-size"
+	case WeightByEpochs:
+		return "weight-by-epochs"
+	default:
+		return fmt.Sprintf("FoldWeightScheme(%d)", int(f))
+	}
+}
+
 // StragglerPolicy selects what the server does with devices that could not
 // complete all E local epochs within the round.
 type StragglerPolicy int
@@ -111,6 +140,12 @@ type Config struct {
 	MuPatience int
 	// Sampling selects the sampling/aggregation scheme.
 	Sampling SamplingScheme
+	// FoldWeight selects the per-update weight inside the fold: n_k (the
+	// paper default) or the realized local epochs — the epoch-budget-
+	// aware-weights ablation. Applies to the synchronous aggregate and
+	// the asynchronous staleness-damped fold alike; WeightedSimpleAvg
+	// ignores it (its fold is unweighted by construction).
+	FoldWeight FoldWeightScheme
 	// Straggler selects the straggler policy (drop vs aggregate).
 	Straggler StragglerPolicy
 	// StragglerFraction is the fraction of selected devices designated as
@@ -325,6 +360,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Mu must be non-negative, got %g", c.Mu)
 	case c.StragglerFraction < 0 || c.StragglerFraction > 1:
 		return fmt.Errorf("core: StragglerFraction must be in [0,1], got %g", c.StragglerFraction)
+	case c.FoldWeight != WeightBySize && c.FoldWeight != WeightByEpochs:
+		return fmt.Errorf("core: unknown FoldWeight scheme %d", int(c.FoldWeight))
 	}
 	if err := c.Async.Validate(); err != nil {
 		return err

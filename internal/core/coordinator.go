@@ -64,6 +64,20 @@ type CoordinatorOptions struct {
 	WireEncoded bool
 	// LabelSuffix is appended to the History label (fednet: " [fednet]").
 	LabelSuffix string
+	// Stepped makes the synchronous protocol pause between rounds: after
+	// a round (and its evaluation/checkpoint chain) completes, the
+	// coordinator emits Pause{NextRound} instead of opening the next
+	// round, and waits for Resume. A tiered driver uses this to re-base
+	// an edge coordinator's global model on the parent's view before the
+	// next window's broadcasts are encoded, keeping codec link chains
+	// and environment streams alive across windows. Synchronous only.
+	Stepped bool
+	// Tier is 1 + the coordinator's depth in a tiered topology (1 =
+	// root, 2 = its children, ...); 0 means untiered. Events emitted by
+	// a tiered coordinator carry Tier-1 in obs.Event.Tier, so traces
+	// distinguish root decisions (tier 0) from edge decisions (tier ≥ 1)
+	// while untiered runs keep emitting the field's absent value (-1).
+	Tier int
 }
 
 // Command is one instruction the coordinator asks its driver to execute.
@@ -159,6 +173,14 @@ func (AdvanceClock) isCommand() {}
 type Checkpoint struct{ NextRound int }
 
 func (Checkpoint) isCommand() {}
+
+// Pause reports that a stepped coordinator (CoordinatorOptions.Stepped)
+// finished its work up to round NextRound and is waiting for Resume
+// before opening it. The driver may read Params, re-base the model, and
+// must call Resume to continue.
+type Pause struct{ NextRound int }
+
+func (Pause) isCommand() {}
 
 // Done reports that the schedule is complete and History() is final.
 type Done struct{}
@@ -397,6 +419,7 @@ type Coordinator struct {
 	work  workStats
 	now   float64  // virtual clock mirror; NaN until the driver Ticks
 	trace obs.Sink // Config.Trace; nil means tracing off
+	tier  int      // obs.Event.Tier stamp: opts.Tier-1 (-1 = untiered)
 
 	evalSeq int
 
@@ -410,6 +433,7 @@ type Coordinator struct {
 	round     *syncRound
 	outcome   *roundOutcome
 	ckptEvery int
+	paused    bool // stepped: a Pause is outstanding, awaiting Resume
 
 	// asynchronous state
 	isAsync       bool
@@ -438,6 +462,12 @@ func NewCoordinator(mdl model.Model, cfg Config, opts CoordinatorOptions) (*Coor
 	if opts.NumDevices <= 0 {
 		return nil, errors.New("core: coordinator needs a positive NumDevices")
 	}
+	if opts.Stepped && cfg.Async.Enabled() {
+		return nil, errors.New("core: stepped execution applies only to synchronous rounds")
+	}
+	if opts.Tier < 0 {
+		return nil, fmt.Errorf("core: Tier must be non-negative, got %d", opts.Tier)
+	}
 	cfg = cfg.WithDefaults()
 	root := frand.New(cfg.Seed)
 	c := &Coordinator{
@@ -457,6 +487,7 @@ func NewCoordinator(mdl model.Model, cfg Config, opts CoordinatorOptions) (*Coor
 		hist:       &History{Label: Label(cfg) + opts.LabelSuffix},
 		now:        math.NaN(),
 		trace:      cfg.Trace,
+		tier:       opts.Tier - 1,
 		pending:    make(map[int]*pendingDispatch),
 		isAsync:    cfg.Async.Enabled(),
 	}
@@ -472,6 +503,7 @@ func (c *Coordinator) emit(e obs.Event) {
 		return
 	}
 	e.Time = c.now
+	e.Tier = c.tier
 	c.trace.Emit(e)
 }
 
@@ -494,6 +526,34 @@ func (c *Coordinator) BindDevice(d *Device) { c.dev = d }
 
 // History returns the run's trajectory (final once Done was emitted).
 func (c *Coordinator) History() *History { return c.hist }
+
+// Params returns a copy of the current global model parameters. A tiered
+// driver reads an edge coordinator's fold here while it is paused, to
+// present it upstream as that edge's device reply.
+func (c *Coordinator) Params() []float64 {
+	out := make([]float64, len(c.w))
+	copy(out, c.w)
+	return out
+}
+
+// Resume continues a stepped coordinator past an outstanding Pause,
+// optionally re-basing the global model on view first (nil keeps the
+// current parameters). The re-base happens before the next round's
+// broadcasts are encoded, so codec link chains stay consistent; this is
+// how a tiered driver folds the parent's aggregate back into an edge.
+func (c *Coordinator) Resume(view []float64) ([]Command, error) {
+	if !c.paused {
+		return nil, errors.New("core: Resume without an outstanding Pause")
+	}
+	if view != nil {
+		if len(view) != len(c.w) {
+			return nil, fmt.Errorf("core: Resume view has %d params, model has %d", len(view), len(c.w))
+		}
+		copy(c.w, view)
+	}
+	c.paused = false
+	return c.beginRound()
+}
 
 // InFlight returns the number of outstanding dispatches.
 func (c *Coordinator) InFlight() int { return len(c.pending) }
@@ -673,7 +733,17 @@ func (c *Coordinator) startSync() ([]Command, error) {
 	}
 	c.t = startRound
 	if startRound == 0 {
-		return c.beginEval(0, c.cfg.Mu, math.NaN(), 0, c.beginRound)
+		return c.beginEval(0, c.cfg.Mu, math.NaN(), 0, c.nextRound)
+	}
+	return c.nextRound()
+}
+
+// nextRound opens round c.t — or, on a stepped coordinator with rounds
+// remaining, pauses and waits for Resume to open it.
+func (c *Coordinator) nextRound() ([]Command, error) {
+	if c.opts.Stepped && c.t < c.cfg.Rounds {
+		c.paused = true
+		return []Command{Pause{NextRound: c.t}}, nil
 	}
 	return c.beginRound()
 }
@@ -998,7 +1068,7 @@ func (c *Coordinator) completeRound() ([]Command, error) {
 		}
 		c.cost.UplinkBytes += rep.upBytes
 		params = append(params, rep.wk)
-		nks = append(nks, rep.nk)
+		nks = append(nks, c.foldWeight(rep.nk, rep.done))
 		if c.cfg.DeviceBudget != nil {
 			c.work.add(rep.done, r.epochs[i])
 		}
@@ -1079,7 +1149,7 @@ func (c *Coordinator) afterRecord(t int) ([]Command, error) {
 		pre = append(pre, Checkpoint{NextRound: t + 1})
 	}
 	c.t = t + 1
-	more, err := c.beginRound()
+	more, err := c.nextRound()
 	return append(pre, more...), err
 }
 
@@ -1397,7 +1467,7 @@ func (c *Coordinator) handleAsyncReply(r Reply) ([]Command, error) {
 		for i := range wk {
 			delta[i] = wk[i] - in.view[i]
 		}
-		c.buffer = append(c.buffer, StaleDelta{Delta: delta, Weight: c.sizes[r.Device], Version: in.version})
+		c.buffer = append(c.buffer, StaleDelta{Delta: delta, Weight: c.foldWeight(c.sizes[r.Device], done), Version: in.version})
 		if c.cfg.DeviceBudget != nil {
 			c.work.add(done, in.epochs)
 		}
@@ -1661,6 +1731,15 @@ func (c *Coordinator) EvalDone(e EvalResult) ([]Command, error) {
 		cmds = append(cmds, more...)
 	}
 	return cmds, nil
+}
+
+// foldWeight resolves one update's aggregation weight under
+// Config.FoldWeight: the device's n_k, or its realized local epochs.
+func (c *Coordinator) foldWeight(nk float64, done int) float64 {
+	if c.cfg.FoldWeight == WeightByEpochs {
+		return float64(done)
+	}
+	return nk
 }
 
 // aggregate folds a synchronous round's updates into w in place.

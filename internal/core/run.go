@@ -309,6 +309,9 @@ func Label(cfg Config) string {
 	if cfg.DeviceBudget != nil {
 		base += " [budget]"
 	}
+	if cfg.FoldWeight == WeightByEpochs {
+		base += " [w=epochs]"
+	}
 	if cfg.VTime.Enabled() {
 		base += " [vtime]"
 	}

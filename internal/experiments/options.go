@@ -55,6 +55,12 @@ type Options struct {
 	// the latency model and the round's wire traffic).
 	VTimeDeadline   float64
 	VTimeRoundBytes int64
+	// TierFanOut, when > 1, replaces ext-hier's default fan-out sweep
+	// with {1 (flat), TierFanOut}; TierLatency, when > 0, overrides the
+	// backbone latency pricing the aggregator legs (the fedbench
+	// -tier sim override group).
+	TierFanOut  int
+	TierLatency float64
 	// Trace attaches an event sink (see internal/obs) to every run the
 	// experiment launches: each workload/method case streams its
 	// coordinator events — round lifecycle, dispatches, replies with

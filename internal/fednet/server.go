@@ -38,6 +38,11 @@ type ServerConfig struct {
 	// the run on a timed-out worker; the asynchronous modes evict the
 	// worker's devices and keep aggregating from the rest.
 	RequestTimeout time.Duration
+	// Tier is 1 + this coordinator's depth in a hierarchical deployment
+	// (1 = the tree's root, whose devices are edge aggregators); 0 is an
+	// untiered flat deployment. Trace events carry Tier-1 so `fedtrace
+	// summary` can roll dispatches and stragglers up by tier.
+	Tier int
 }
 
 // Server is the federated coordinator's transport: it owns the worker
@@ -81,6 +86,21 @@ type device struct {
 
 // NewServer builds a coordinator for the given model and configuration.
 func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
+	return newServerWithOptions(mdl, cfg, core.CoordinatorOptions{
+		NumDevices: cfg.ExpectDevices,
+		Tier:       cfg.Tier,
+		// The wire protocol always carries encoded updates; no codec
+		// means raw, which reproduces the uncompressed trajectory bit
+		// for bit.
+		WireEncoded: true,
+		LabelSuffix: " [fednet]",
+	})
+}
+
+// newServerWithOptions is NewServer with the coordinator options under
+// the caller's control — the tier edge builds its child-facing half
+// here with a stepped, tier-stamped coordinator.
+func newServerWithOptions(mdl model.Model, cfg ServerConfig, opts core.CoordinatorOptions) (*Server, error) {
 	if err := cfg.Training.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,14 +135,7 @@ func NewServer(mdl model.Model, cfg ServerConfig) (*Server, error) {
 	if cfg.ExpectDevices <= 0 {
 		return nil, errors.New("fednet: ExpectDevices must be positive")
 	}
-	coord, err := core.NewCoordinator(mdl, cfg.Training, core.CoordinatorOptions{
-		NumDevices: cfg.ExpectDevices,
-		// The wire protocol always carries encoded updates; no codec
-		// means raw, which reproduces the uncompressed trajectory bit
-		// for bit.
-		WireEncoded: true,
-		LabelSuffix: " [fednet]",
-	})
+	coord, err := core.NewCoordinator(mdl, cfg.Training, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -426,6 +439,20 @@ func (s *Server) roundTrip(c *conn, e Envelope) (Envelope, error) {
 // the metrics meaningful when the asynchronous modes lose workers
 // mid-run.
 func (s *Server) evaluate(v core.Evaluate, renormalize bool) (core.EvalResult, error) {
+	all, err := s.gatherEvals(v)
+	if err != nil {
+		return core.EvalResult{}, err
+	}
+	loss, acc := combineEvals(all, s.weights, renormalize)
+	res := core.EvalResult{Loss: loss, Acc: acc}
+	res.WireUplinkBytes, res.WireDownlinkBytes = s.BytesOnWire()
+	return res, nil
+}
+
+// gatherEvals broadcasts one Evaluate to every connection and collects
+// the raw per-device contributions — the tier edge folds these into a
+// single pseudo-device report instead of combining them into a scalar.
+func (s *Server) gatherEvals(v core.Evaluate) ([]DeviceEval, error) {
 	defer obs.StartSpan(s.trace, obs.Event{Label: "fednet-eval", Device: -1}).End()
 	type shardEval struct {
 		evals []DeviceEval
@@ -458,14 +485,11 @@ func (s *Server) evaluate(v core.Evaluate, renormalize bool) (core.EvalResult, e
 	var all []DeviceEval
 	for _, o := range out {
 		if o.err != nil {
-			return core.EvalResult{}, o.err
+			return nil, o.err
 		}
 		all = append(all, o.evals...)
 	}
-	loss, acc := combineEvals(all, s.weights, renormalize)
-	res := core.EvalResult{Loss: loss, Acc: acc}
-	res.WireUplinkBytes, res.WireDownlinkBytes = s.BytesOnWire()
-	return res, nil
+	return all, nil
 }
 
 // combineEvals folds per-device metric contributions into the global

@@ -1,0 +1,182 @@
+package fednet
+
+import (
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedprox/internal/comm"
+	"fedprox/internal/core"
+	"fedprox/internal/data"
+	"fedprox/internal/model/linear"
+	"fedprox/internal/tier"
+)
+
+// launchTree deploys a two-tier process tree over loopback TCP: a root
+// coordinator, edges = clients/fanOut edge aggregators each owning a
+// contiguous slice of the fleet, and one worker per edge hosting that
+// slice under edge-local device IDs. Everything runs in-process on real
+// sockets — the exact topology `fedserver -tier root` + `fedserver
+// -tier edge` + `fedworker -tier edge` builds across machines.
+func launchTree(t *testing.T, fed *data.Federated, mdl *linear.Model, rootCfg, edgeCfg core.Config, fanOut int) (*core.History, error) {
+	t.Helper()
+	edges := rootCfg.ClientsPerRound / fanOut
+	rootCfg.ClientsPerRound = edges
+	srv, err := NewServer(mdl, ServerConfig{Training: rootCfg, ExpectDevices: edges})
+	if err != nil {
+		return nil, err
+	}
+	rootLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	edgeErrs := make([]error, edges)
+	workerErrs := make([]error, edges)
+	for i := 0; i < edges; i++ {
+		lo, hi := tier.Partition(fed.NumDevices(), edges, i)
+		cfg := edgeCfg
+		cfg.Seed = edgeCfg.Seed + uint64(i)*1009
+		edge, err := NewEdge(mdl, EdgeConfig{
+			Training:      cfg,
+			ExpectDevices: hi - lo,
+			DeviceID:      i,
+			FanOut:        fanOut,
+		})
+		if err != nil {
+			return nil, err
+		}
+		edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		parentRaw, err := net.Dial("tcp", rootLn.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		// The worker hosts the edge's fleet slice under edge-local IDs,
+		// as `fedworker -tier edge` does.
+		var shards []*data.Shard
+		for g := lo; g < hi; g++ {
+			s := *fed.Shards[g]
+			s.ID = g - lo
+			shards = append(shards, &s)
+		}
+		w := NewWorker(mdl, shards, nil)
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			pc := newConn(parentRaw)
+			defer pc.close()
+			edgeErrs[i] = edge.RunWithConns(edgeLn, pc)
+			edgeLn.Close()
+		}(i)
+		go func(i int, addr string) {
+			defer wg.Done()
+			workerErrs[i] = w.Run(addr)
+		}(i, edgeLn.Addr().String())
+	}
+	hist, runErr := srv.RunWithListener(rootLn)
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	for i := 0; i < edges; i++ {
+		if edgeErrs[i] != nil {
+			t.Fatalf("edge %d: %v", i, edgeErrs[i])
+		}
+		if workerErrs[i] != nil {
+			t.Fatalf("worker %d: %v", i, workerErrs[i])
+		}
+	}
+	return hist, nil
+}
+
+// TestTieredProcessTree is the fednet face of the tentpole: a root and
+// two edge aggregators train a real fleet over sockets, the root only
+// ever sees edges=2 pseudo-device replies per round, and the distributed
+// evaluation still reports the exact global weighted loss.
+func TestTieredProcessTree(t *testing.T) {
+	fed, mdl := testWorkload()
+	const fanOut = 4
+	rootCfg := core.FedProx(6, 8, 3, 0.01, 1) // 8/4 = 2 edges
+	rootCfg.EvalEvery = 2
+	edgeCfg := core.FedProx(6, fanOut, 3, 0.01, 1)
+	edgeCfg.Seed = 21
+
+	hist, err := launchTree(t, fed, mdl, rootCfg, edgeCfg, fanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hist.Label, "[fednet]") {
+		t.Fatalf("label %q missing transport marker", hist.Label)
+	}
+	first, fin := hist.Points[0], hist.Final()
+	if math.IsNaN(first.TrainLoss) || math.IsNaN(fin.TrainLoss) {
+		t.Fatalf("global loss not measured: first %v, final %v", first.TrainLoss, fin.TrainLoss)
+	}
+	if fin.TrainLoss >= first.TrainLoss {
+		t.Fatalf("no progress through the tree: loss %v -> %v", first.TrainLoss, fin.TrainLoss)
+	}
+	if fin.Participants != 2 {
+		t.Fatalf("root saw %d participants per round, want 2 edges", fin.Participants)
+	}
+	// Root ingress is 2 edge replies per round — a quarter of the 8
+	// device replies a flat run uploads.
+	paramBytes := int64(mdl.NumParams() * 8)
+	if want := int64(6*2) * paramBytes; fin.Cost.UplinkBytes != want {
+		t.Fatalf("root ingress %d bytes, want %d (2 edge replies x 6 rounds)", fin.Cost.UplinkBytes, want)
+	}
+}
+
+// TestTieredProcessTreeCodec runs the tree with qsgd on both hops: the
+// parent-edge links and the edge-worker links each carry their own codec
+// streams, and the deployment still trains.
+func TestTieredProcessTreeCodec(t *testing.T) {
+	fed, mdl := testWorkload()
+	const fanOut = 4
+	spec := comm.Spec{Name: "qsgd", Bits: 8}
+	rootCfg := core.FedProx(4, 8, 3, 0.01, 1)
+	rootCfg.EvalEvery = 2
+	rootCfg.Codec = spec
+	edgeCfg := core.FedProx(4, fanOut, 3, 0.01, 1)
+	edgeCfg.Seed = 33
+	edgeCfg.Codec = spec
+
+	hist, err := launchTree(t, fed, mdl, rootCfg, edgeCfg, fanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, fin := hist.Points[0], hist.Final()
+	if math.IsNaN(fin.TrainLoss) || fin.TrainLoss >= first.TrainLoss {
+		t.Fatalf("qsgd tree did not train: loss %v -> %v", first.TrainLoss, fin.TrainLoss)
+	}
+	raw := int64(4*2) * int64(mdl.NumParams()*8)
+	if fin.Cost.UplinkBytes <= 0 || fin.Cost.UplinkBytes >= raw {
+		t.Fatalf("root ingress %d not compressed below raw %d", fin.Cost.UplinkBytes, raw)
+	}
+}
+
+// TestNewEdgeRejections pins the edge's configuration guard rails.
+func TestNewEdgeRejections(t *testing.T) {
+	_, mdl := testWorkload()
+	good := core.FedProx(2, 4, 1, 0.01, 0)
+	async := good
+	async.Async = core.AsyncConfig{Mode: core.AsyncTotal}
+	cases := []struct {
+		name string
+		cfg  EdgeConfig
+		want string
+	}{
+		{"fanout", EdgeConfig{Training: good, ExpectDevices: 8, FanOut: 1}, "FanOut"},
+		{"async", EdgeConfig{Training: async, ExpectDevices: 8, FanOut: 4}, "root-only"},
+	}
+	for _, tc := range cases {
+		if _, err := NewEdge(mdl, tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}

@@ -145,6 +145,12 @@ type Event struct {
 	Version   int
 	Staleness int
 
+	// Tier is the emitting coordinator's depth in a hierarchical
+	// topology: 0 for the root, 1 for its edge aggregators, and so on.
+	// -1 (the wire-omitted sentinel) marks an untiered run, so flat
+	// traces carry no tier field at all.
+	Tier int
+
 	// Epochs is the dispatched epoch target; Budget the device-side
 	// compute budget riding the dispatch (0 = unlimited); EpochsDone
 	// the epochs the device actually ran.

@@ -68,13 +68,13 @@ func TestJSONLSchema(t *testing.T) {
 	j := NewJSONL(&buf)
 	events := []Event{
 		{Kind: KindRunStart, Time: math.NaN(), Label: `Fed"Prox`, N: 30},
-		{Kind: KindRoundOpen, Time: 0, Round: 0, N: 10},
-		{Kind: KindDispatch, Time: 1.5, Round: 2, Seq: 1, Device: 4, Version: 2, Epochs: 20, Budget: 5, BytesDown: 800},
-		{Kind: KindReply, Time: 2.25, Seq: 1, Device: 4, Version: 2, Staleness: 3, EpochsDone: 5, BytesUp: 800, BytesDown: 800, Seconds: 0.75, Disposition: "folded"},
-		{Kind: KindReply, Time: math.NaN(), Seq: 2, Device: 5, Version: 2, Staleness: -1, EpochsDone: 9, BytesUp: 800, BytesDown: 800, Seconds: math.NaN(), Disposition: "drop-deadline"},
+		{Kind: KindRoundOpen, Time: 0, Round: 0, N: 10, Tier: -1},
+		{Kind: KindDispatch, Time: 1.5, Round: 2, Seq: 1, Device: 4, Version: 2, Epochs: 20, Budget: 5, BytesDown: 800, Tier: -1},
+		{Kind: KindReply, Time: 2.25, Seq: 1, Device: 4, Version: 2, Staleness: 3, EpochsDone: 5, BytesUp: 800, BytesDown: 800, Seconds: 0.75, Disposition: "folded", Tier: -1},
+		{Kind: KindReply, Time: math.NaN(), Seq: 2, Device: 5, Version: 2, Staleness: -1, EpochsDone: 9, BytesUp: 800, BytesDown: 800, Seconds: math.NaN(), Disposition: "drop-deadline", Tier: -1},
 		{Kind: KindDrop, Time: math.NaN(), Round: 2, Device: 6, Disposition: "drop-policy"},
-		{Kind: KindFold, Time: 2.25, Round: 2, Version: 3, N: 10},
-		{Kind: KindRoundClose, Time: 2.25, Round: 2, N: 10, Seconds: 0.75},
+		{Kind: KindFold, Time: 2.25, Round: 2, Version: 3, N: 10, Tier: -1},
+		{Kind: KindRoundClose, Time: 2.25, Round: 2, N: 10, Seconds: 0.75, Tier: -1},
 		{Kind: KindEval, Time: 2.25, Round: 3, Loss: 0.5, Acc: 0.875},
 		{Kind: KindCheckpoint, Time: math.NaN(), Round: 3},
 		{Kind: KindWorkerJoin, Time: math.NaN(), N: 8},
@@ -84,6 +84,7 @@ func TestJSONLSchema(t *testing.T) {
 		{Kind: KindDeviceEval, Time: math.NaN(), Seq: 3, N: 8},
 		{Kind: KindSpan, Time: 9, Label: "fednet-eval", Device: -1, Seconds: 0.01},
 		{Kind: KindRunDone, Time: 2.25},
+		{Kind: KindFold, Time: 2.25, Round: 2, Version: 3, N: 8, Tier: 1},
 	}
 	for _, e := range events {
 		j.Emit(e)
@@ -114,6 +115,13 @@ func TestJSONLSchema(t *testing.T) {
 	}
 	if strings.Contains(lines[15], `"device"`) {
 		t.Fatalf("span with Device -1 must omit device: %s", lines[15])
+	}
+	// Untiered events omit the tier field; tiered ones carry it.
+	if strings.Contains(lines[6], `"tier"`) {
+		t.Fatalf("untiered fold must omit tier: %s", lines[6])
+	}
+	if want := `{"kind":"fold","t":2.25,"round":2,"version":3,"n":8,"tier":1}`; lines[17] != want {
+		t.Fatalf("tiered fold line:\n got %s\nwant %s", lines[17], want)
 	}
 	// Byte stability: re-encoding the same events reproduces the bytes.
 	var buf2 bytes.Buffer

@@ -79,10 +79,18 @@ func (r *Registry) Emit(e Event) {
 	case KindDispatch:
 		r.Add("fedprox_dispatches_total", "Training dispatches sent.", "", 1)
 		r.Add("fedprox_downlink_bytes_total", "Broadcast bytes down, per dispatch.", "", float64(e.BytesDown))
+		if e.Tier >= 0 {
+			r.Add("fedprox_tier_downlink_bytes_total", "Broadcast bytes down, by emitting tier.",
+				labels("tier", strconv.Itoa(e.Tier)), float64(e.BytesDown))
+		}
 	case KindReply:
 		disp := labels("disposition", e.Disposition)
 		r.Add("fedprox_replies_total", "Device replies by coordinator disposition.", disp, 1)
 		r.Add("fedprox_uplink_bytes_total", "Reply bytes up.", "", float64(e.BytesUp))
+		if e.Tier >= 0 {
+			r.Add("fedprox_tier_uplink_bytes_total", "Reply bytes up, by receiving tier.",
+				labels("tier", strconv.Itoa(e.Tier)), float64(e.BytesUp))
+		}
 		if e.Disposition == "folded" {
 			r.Add("fedprox_epochs_done_total", "Local epochs folded into the model.", "", float64(e.EpochsDone))
 			if e.Staleness >= 0 {

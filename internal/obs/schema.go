@@ -48,6 +48,7 @@ const (
 	fAcc
 	fSeconds
 	fN
+	fTier
 )
 
 // FieldSpec describes one wire field of a kind: its JSON key, wire
@@ -89,6 +90,8 @@ func (f FieldSpec) Int(e *Event) int {
 		return e.EpochsDone
 	case fN:
 		return e.N
+	case fTier:
+		return e.Tier
 	}
 	return 0
 }
@@ -114,6 +117,8 @@ func (f FieldSpec) SetInt(e *Event, v int) {
 		e.EpochsDone = v
 	case fN:
 		e.N = v
+	case fTier:
+		e.Tier = v
 	}
 }
 
@@ -217,15 +222,17 @@ var tf = fnan("t", fTime)
 // omission rule fires.
 var kindFields = [KindRunDone + 1][]FieldSpec{
 	KindRunStart:  {tf, fs("label", fLabel), fi("n", fN)},
-	KindRoundOpen: {tf, fi("round", fRound), fi("n", fN)},
+	KindRoundOpen: {tf, fi("round", fRound), fi("n", fN), fneg("tier", fTier)},
 	KindDispatch: {tf, fi("round", fRound), fi("seq", fSeq), fi("device", fDevice),
-		fi("version", fVersion), fi("epochs", fEpochs), fi("budget", fBudget), f64("down", fBytesDown)},
+		fi("version", fVersion), fi("epochs", fEpochs), fi("budget", fBudget), f64("down", fBytesDown),
+		fneg("tier", fTier)},
 	KindReply: {tf, fi("seq", fSeq), fi("device", fDevice), fi("version", fVersion),
 		fi("stale", fStaleness), fi("done", fEpochsDone), f64("up", fBytesUp),
-		f64("down", fBytesDown), fnan("rel", fSeconds), fs("drop", fDisposition)},
+		f64("down", fBytesDown), fnan("rel", fSeconds), fs("drop", fDisposition),
+		fneg("tier", fTier)},
 	KindDrop:          {tf, fi("round", fRound), fi("device", fDevice), fs("drop", fDisposition)},
-	KindFold:          {tf, fi("round", fRound), fi("version", fVersion), fi("n", fN)},
-	KindRoundClose:    {tf, fi("round", fRound), fi("n", fN), fnan("secs", fSeconds)},
+	KindFold:          {tf, fi("round", fRound), fi("version", fVersion), fi("n", fN), fneg("tier", fTier)},
+	KindRoundClose:    {tf, fi("round", fRound), fi("n", fN), fnan("secs", fSeconds), fneg("tier", fTier)},
 	KindEval:          {tf, fi("round", fRound), ff("loss", fLoss), ff("acc", fAcc)},
 	KindCheckpoint:    {tf, fi("round", fRound)},
 	KindWorkerJoin:    {tf, fi("n", fN)},

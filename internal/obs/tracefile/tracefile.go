@@ -54,8 +54,10 @@ var (
 	// write.
 	ErrTruncated = errors.New("truncated line")
 	// ErrOutOfOrder marks a round-open whose round does not increase
-	// within its run — the coordinator emits rounds strictly ascending,
-	// so a violation means spliced or reordered input.
+	// within its run at its tier — each coordinator emits its rounds
+	// strictly ascending, so a violation means spliced or reordered
+	// input. A hierarchical run interleaves several coordinators into
+	// one trace; their tier stamps keep the per-node streams separable.
 	ErrOutOfOrder = errors.New("out-of-order round")
 )
 
@@ -83,9 +85,12 @@ type Decoder struct {
 	// run labels) so decoding N lines allocates O(distinct), not O(N).
 	strs map[string]string
 
-	// lastRound enforces round-open monotonicity per run; reset by
-	// run-start.
-	lastRound int
+	// lastRound enforces round-open monotonicity per run and tier;
+	// reset by run-start. The root (tier 0) and untiered coordinators
+	// (tier -1) open each round exactly once, so their rounds must
+	// strictly increase; sibling edges share a tier and each opens the
+	// same root round, so tiers above 0 only require non-decreasing.
+	lastRound map[int]int
 }
 
 // NewDecoder returns a Decoder reading r. Wrap files in the Decoder
@@ -94,7 +99,7 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{
 		r:         bufio.NewReaderSize(r, 64<<10),
 		strs:      make(map[string]string),
-		lastRound: -1,
+		lastRound: make(map[int]int),
 	}
 }
 
@@ -121,13 +126,15 @@ func (d *Decoder) Next() (obs.Event, error) {
 	}
 	switch e.Kind {
 	case obs.KindRunStart:
-		d.lastRound = -1
+		clear(d.lastRound)
 	case obs.KindRoundOpen:
-		if e.Round <= d.lastRound {
-			d.err = &LineError{Line: d.line, Err: fmt.Errorf("%w: round-open %d after round %d", ErrOutOfOrder, e.Round, d.lastRound)}
+		last, seen := d.lastRound[e.Tier]
+		repeatOK := e.Tier > 0 // sibling edges each open the root's round
+		if seen && (e.Round < last || (e.Round == last && !repeatOK)) {
+			d.err = &LineError{Line: d.line, Err: fmt.Errorf("%w: round-open %d after round %d", ErrOutOfOrder, e.Round, last)}
 			return obs.Event{}, d.err
 		}
-		d.lastRound = e.Round
+		d.lastRound[e.Tier] = e.Round
 	}
 	return e, nil
 }

@@ -1,0 +1,103 @@
+package tier
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabled(t *testing.T) {
+	for _, tc := range []struct {
+		f, d int
+		want bool
+	}{
+		{0, 0, false}, {1, 1, false}, {2, 0, false}, {0, 2, false},
+		{2, 1, true}, {8, 1, true}, {32, 2, true},
+	} {
+		if got := (Topology{FanOut: tc.f, Depth: tc.d}).Enabled(); got != tc.want {
+			t.Errorf("Enabled(f=%d d=%d) = %v, want %v", tc.f, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		topo    Topology
+		k, n    int
+		wantErr string
+	}{
+		{"flat ok", Topology{}, 10, 30, ""},
+		{"flat negative", Topology{FanOut: -1}, 10, 30, "non-negative"},
+		{"divides", Topology{FanOut: 8, Depth: 1}, 64, 1000, ""},
+		{"deep divides", Topology{FanOut: 8, Depth: 2}, 64, 1000, ""},
+		{"no divide", Topology{FanOut: 8, Depth: 1}, 60, 1000, "must divide"},
+		{"deep no divide", Topology{FanOut: 32, Depth: 2}, 64, 100000, "must divide"},
+		{"too few devices", Topology{FanOut: 8, Depth: 1}, 64, 63, "cannot host"},
+		{"overflow", Topology{FanOut: 1 << 16, Depth: 4}, 64, 100, "overflows"},
+	} {
+		err := tc.topo.Validate(tc.k, tc.n)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && (err == nil || !strings.Contains(err.Error(), tc.wantErr)):
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestCohortSizes(t *testing.T) {
+	// d=1: root contacts K/F edges, each edge selects F devices.
+	topo := Topology{FanOut: 32, Depth: 1}
+	if got := topo.RootCohort(64); got != 2 {
+		t.Errorf("RootCohort = %d, want 2", got)
+	}
+	if got := topo.Leaves(64); got != 2 {
+		t.Errorf("Leaves = %d, want 2", got)
+	}
+	// d=2: root cohort shrinks by another factor of F; leaf count is
+	// unchanged (each interior node fans into F leaves).
+	deep := Topology{FanOut: 8, Depth: 2}
+	if got := deep.RootCohort(64); got != 1 {
+		t.Errorf("deep RootCohort = %d, want 1", got)
+	}
+	if got := deep.Leaves(64); got != 8 {
+		t.Errorf("deep Leaves = %d, want 8", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	// Ranges tile [0, n) contiguously; sizes differ by at most one, with
+	// the larger parts first.
+	n, parts := 103, 8
+	next, minSz, maxSz := 0, n, 0
+	for i := 0; i < parts; i++ {
+		lo, hi := Partition(n, parts, i)
+		if lo != next {
+			t.Fatalf("part %d starts at %d, want %d", i, lo, next)
+		}
+		if hi <= lo {
+			t.Fatalf("part %d is empty: [%d, %d)", i, lo, hi)
+		}
+		if sz := hi - lo; sz < minSz {
+			minSz = sz
+		} else if sz > maxSz {
+			maxSz = sz
+		}
+		next = hi
+	}
+	if next != n {
+		t.Fatalf("parts end at %d, want %d", next, n)
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("part sizes range [%d, %d], want spread ≤ 1", minSz, maxSz)
+	}
+}
+
+func TestSuffix(t *testing.T) {
+	if got := (Topology{}).Suffix(); got != "" {
+		t.Errorf("flat suffix = %q, want empty", got)
+	}
+	if got := (Topology{FanOut: 8, Depth: 2}).Suffix(); got != " [tier f=8 d=2]" {
+		t.Errorf("suffix = %q", got)
+	}
+}
