@@ -355,3 +355,9 @@ func BenchmarkLocalSolverGD(b *testing.B) {
 func BenchmarkCoordinatorFold(b *testing.B) { speed.CoordinatorFold(b) }
 
 func BenchmarkDeviceDispatch(b *testing.B) { speed.DeviceDispatch(b) }
+
+func BenchmarkDeviceDispatchF32(b *testing.B) { speed.DeviceDispatchF32(b) }
+
+func BenchmarkSolvePerExample(b *testing.B) { speed.SolvePerExample(b) }
+
+func BenchmarkSolveBatched(b *testing.B) { speed.SolveBatched(b) }

@@ -39,12 +39,14 @@ func main() {
 		scale     = flag.Float64("scale", 0, "override dataset scale factor")
 
 		codecFlags cli.Codec
+		precFlags  cli.Precision
 		asyncFlags cli.Async
 		tierFlags  cli.Tier
 		vtimeFlags cli.VTime
 		traceFlags cli.Trace
 	)
 	codecFlags.Register(flag.CommandLine)
+	precFlags.Register(flag.CommandLine)
 	asyncFlags.RegisterOverrides(flag.CommandLine)
 	tierFlags.Register(flag.CommandLine)
 	vtimeFlags.Register(flag.CommandLine)
@@ -88,6 +90,7 @@ func main() {
 	opts.DownlinkCodec = codecFlags.Downlink
 	opts.CodecBits = codecFlags.Bits
 	opts.CodecTopK = codecFlags.TopK
+	opts.Precision = precFlags.Name
 	opts.AsyncAlpha = asyncFlags.Alpha
 	opts.AsyncStalenessExp = asyncFlags.StalenessExp
 	opts.AsyncBufferK = asyncFlags.BufferK

@@ -63,12 +63,14 @@ func main() {
 		index      = flag.Int("index", 0, "this edge's index among the tree's edges (with -tier edge)")
 
 		codecFlags cli.Codec
+		precFlags  cli.Precision
 		asyncFlags cli.Async
 		tierFlags  cli.Tier
 		traceFlags cli.Trace
 		debugFlags cli.Debug
 	)
 	codecFlags.Register(flag.CommandLine)
+	precFlags.Register(flag.CommandLine)
 	asyncFlags.Register(flag.CommandLine)
 	tierFlags.Register(flag.CommandLine)
 	traceFlags.Register(flag.CommandLine)
@@ -93,6 +95,9 @@ func main() {
 		cfg.Straggler = core.DropStragglers
 	}
 	if err := codecFlags.Apply(&cfg); err != nil {
+		fail(err)
+	}
+	if err := precFlags.Apply(&cfg); err != nil {
 		fail(err)
 	}
 	if cfg.Async, err = asyncFlags.Config(); err != nil {

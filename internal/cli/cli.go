@@ -27,6 +27,7 @@ import (
 	"fedprox/internal/comm"
 	"fedprox/internal/core"
 	"fedprox/internal/obs"
+	"fedprox/internal/tensor"
 	"fedprox/internal/tier"
 )
 
@@ -72,6 +73,28 @@ func (c *Codec) Apply(cfg *core.Config) error {
 	if c.Downlink != "" {
 		cfg.DownlinkCodec = comm.Spec{Name: c.Downlink, Bits: c.Bits, TopK: c.TopK}
 	}
+	return nil
+}
+
+// Precision is the arithmetic-width flag group: -precision.
+type Precision struct {
+	Name string
+}
+
+// Register declares the group's flag on fs.
+func (p *Precision) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.Name, "precision", "", "device hot-path arithmetic width: "+strings.Join(tensor.Precisions(), ", ")+" (empty = f64)")
+}
+
+// Apply parses the selected width into cfg. Config.Validate enforces the
+// f32 composition rules (no privacy, no topk); the model/solver
+// capability check happens at run construction.
+func (p *Precision) Apply(cfg *core.Config) error {
+	prec, err := tensor.ParsePrecision(p.Name)
+	if err != nil {
+		return err
+	}
+	cfg.Precision = prec
 	return nil
 }
 

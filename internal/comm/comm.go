@@ -75,6 +75,14 @@ type Spec struct {
 	// codec randomness tied to the run seed leave this zero and let the
 	// run fill it in (core.Config.CommSpec does).
 	Seed uint64
+	// Precision is the arithmetic width of the link's payloads. The zero
+	// value (tensor.F64) keeps the historical dense-float64 wire. With
+	// tensor.F32 the dense codecs ship float32 (half the bytes) and the
+	// qsgd family quantizes straight from float32 input with a float32
+	// scale — the codecs then satisfy Codec32 and endpoints use the
+	// Encode32/Decode32 fast path. topk does not support f32 (its
+	// error-feedback residual is f64 state); Validate rejects the combo.
+	Precision tensor.Precision
 }
 
 // Enabled reports whether the spec names a codec.
@@ -108,6 +116,12 @@ func (s Spec) Validate() error {
 	if s.TopK <= 0 || s.TopK > 1 {
 		return fmt.Errorf("comm: topk fraction must be in (0,1], got %g", s.TopK)
 	}
+	if err := s.Precision.Validate(); err != nil {
+		return err
+	}
+	if s.Precision == tensor.F32 && s.Name == "topk" {
+		return fmt.Errorf("comm: topk does not support f32 payloads")
+	}
 	return nil
 }
 
@@ -138,9 +152,14 @@ func (s Spec) UsesPrev() bool {
 // every codec.
 func (s Spec) WireSize(n int) int64 {
 	d := s.WithDefaults()
+	// A float32 link halves the dense word and the quantizer's scale.
+	word, scale := int64(8), int64(8)
+	if d.Precision == tensor.F32 {
+		word, scale = 4, 4
+	}
 	switch d.Name {
 	case "qsgd", "delta+qsgd":
-		return 8 + int64((n*d.Bits+7)/8)
+		return scale + int64(packedLen(n, d.Bits))
 	case "topk":
 		k := int(d.TopK*float64(n) + 0.5)
 		if k < 1 {
@@ -150,8 +169,8 @@ func (s Spec) WireSize(n int) int64 {
 			k = n
 		}
 		return 4 + 12*int64(k)
-	default: // raw, delta: dense float64
-		return 8 * int64(n)
+	default: // raw, delta: dense words
+		return word * int64(n)
 	}
 }
 
@@ -161,14 +180,17 @@ func (s Spec) String() string {
 		return "uncompressed"
 	}
 	d := s.WithDefaults()
+	out := s.Name
 	switch s.Name {
 	case "qsgd", "delta+qsgd":
-		return fmt.Sprintf("%s(b=%d)", s.Name, d.Bits)
+		out = fmt.Sprintf("%s(b=%d)", s.Name, d.Bits)
 	case "topk":
-		return fmt.Sprintf("topk(k=%g%%)", 100*d.TopK)
-	default:
-		return s.Name
+		out = fmt.Sprintf("topk(k=%g%%)", 100*d.TopK)
 	}
+	if d.Precision == tensor.F32 {
+		out += "/f32"
+	}
+	return out
 }
 
 // Names returns every registered codec name, in documentation order.
@@ -253,10 +275,17 @@ type Update struct {
 	// Dense is the float64 payload of the raw and delta codecs.
 	Dense []float64
 
+	// Dense32 is the float32 payload of the raw and delta codecs on an
+	// f32 link — half the dense bytes of Dense.
+	Dense32 []float32
+
 	// Bits, Scale, Packed carry a quantized payload: each coordinate is
-	// an offset-binary level of Bits bits in Packed, scaled by Scale.
+	// a level of Bits bits in Packed (bit-packed, or radix-packed at the
+	// narrow widths — see packedLen), scaled by Scale. F32 marks a scale
+	// quantized to float32 by an f32 encoder, which ships in 4 bytes.
 	Bits   int
 	Scale  float64
+	F32    bool
 	Packed []byte
 
 	// Indices, Values carry a sparse payload: Values[j] is the
@@ -266,16 +295,22 @@ type Update struct {
 }
 
 // WireBytes returns the bytes an efficient serialization of the update
-// occupies: 8 per float64, 4 per index, plus the quantizer's scale. The
-// raw codec costs exactly 8·N — the accounting the simulator used before
-// codecs existed — so "raw" is the baseline compression ratios are
-// measured against.
+// occupies: 8 per float64 (4 per float32), 4 per index, plus the
+// quantizer's scale at its stored width. The raw codec costs exactly
+// 8·N — the accounting the simulator used before codecs existed — so
+// "raw" is the baseline compression ratios are measured against.
 func (u *Update) WireBytes() int64 {
 	switch {
 	case u.Packed != nil:
-		return 8 + int64((u.N*u.Bits+7)/8)
+		scale := int64(8)
+		if u.F32 {
+			scale = 4
+		}
+		return scale + int64(len(u.Packed))
 	case u.Indices != nil:
 		return 4 + 12*int64(len(u.Indices))
+	case u.Dense32 != nil:
+		return 4 * int64(u.N)
 	default:
 		return 8 * int64(u.N)
 	}
@@ -283,6 +318,42 @@ func (u *Update) WireBytes() int64 {
 
 // check validates the envelope fields every decoder shares.
 func (u *Update) check(codec string, prev []float64) error {
+	if u.Codec != codec {
+		return fmt.Errorf("comm: update encoded with %q, decoding with %q", u.Codec, codec)
+	}
+	if prev != nil && len(prev) != u.N {
+		return fmt.Errorf("comm: update has %d params, link state has %d", u.N, len(prev))
+	}
+	return nil
+}
+
+// Codec32 is the float32 fast path a Codec may implement: encode
+// straight from (and decode straight to) float32 vectors, with no
+// widening copy in between. The raw, delta, and qsgd families implement
+// it; an f32 Spec only ever constructs codecs that do (Validate rejects
+// the rest), which is what As32 relies on.
+type Codec32 interface {
+	Codec
+	// Encode32 is Encode from a float32 vector; the resulting Update
+	// carries the f32 payload family (Dense32, or Packed with an f32
+	// scale).
+	Encode32(params, prev []float32) *Update
+	// Decode32 is Decode into a pooled float32 vector (hand back with
+	// tensor.PutVec32 when not retained).
+	Decode32(u *Update, prev []float32) ([]float32, error)
+}
+
+// As32 returns c's float32 fast path, or an error naming the codec when
+// it has none.
+func As32(c Codec) (Codec32, error) {
+	if c32, ok := c.(Codec32); ok {
+		return c32, nil
+	}
+	return nil, fmt.Errorf("comm: codec %q has no f32 path", c.Name())
+}
+
+// check32 validates the envelope fields every f32 decoder shares.
+func (u *Update) check32(codec string, prev []float32) error {
 	if u.Codec != codec {
 		return fmt.Errorf("comm: update encoded with %q, decoding with %q", u.Codec, codec)
 	}
@@ -310,6 +381,22 @@ func (rawCodec) Decode(u *Update, prev []float64) ([]float64, error) {
 	}
 	out := tensor.GetVec(u.N)
 	copy(out, u.Dense)
+	return out, nil
+}
+
+func (rawCodec) Encode32(params, _ []float32) *Update {
+	return &Update{Codec: "raw", N: len(params), Dense32: append([]float32(nil), params...)}
+}
+
+func (rawCodec) Decode32(u *Update, prev []float32) ([]float32, error) {
+	if err := u.check32("raw", prev); err != nil {
+		return nil, err
+	}
+	if len(u.Dense32) != u.N {
+		return nil, fmt.Errorf("comm: raw f32 payload has %d values, header says %d", len(u.Dense32), u.N)
+	}
+	out := tensor.GetVec32(u.N)
+	copy(out, u.Dense32)
 	return out, nil
 }
 
@@ -347,6 +434,38 @@ func (c *deltaCodec) Decode(u *Update, prev []float64) ([]float64, error) {
 	iu := *u
 	iu.Codec = c.inner.Name()
 	d, err := c.inner.Decode(&iu, nil)
+	if err != nil {
+		return nil, err
+	}
+	if prev != nil {
+		for i, p := range prev {
+			d[i] += p
+		}
+	}
+	return d, nil
+}
+
+func (c *deltaCodec) Encode32(params, prev []float32) *Update {
+	d := tensor.GetVec32(len(params))
+	copy(d, params)
+	if prev != nil {
+		for i, p := range prev {
+			d[i] -= p
+		}
+	}
+	u := c.inner.(Codec32).Encode32(d, nil)
+	u.Codec = c.name
+	tensor.PutVec32(d)
+	return u
+}
+
+func (c *deltaCodec) Decode32(u *Update, prev []float32) ([]float32, error) {
+	if err := u.check32(c.name, prev); err != nil {
+		return nil, err
+	}
+	iu := *u
+	iu.Codec = c.inner.Name()
+	d, err := c.inner.(Codec32).Decode32(&iu, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 package comm
 
-import "sync"
+import (
+	"sync"
+
+	"fedprox/internal/tensor"
+)
 
 // LinkState is one endpoint's per-device codec state: lazily created
 // downlink/uplink codec instances plus the last decoded broadcast per
@@ -20,6 +24,7 @@ type LinkState struct {
 	mu       sync.Mutex
 	down, up map[int]Codec
 	prev     map[int][]float64
+	prev32   map[int][]float32
 }
 
 // NewLinkState validates the per-direction specs and returns empty state.
@@ -40,6 +45,7 @@ func NewLinkState(down, up Spec) (*LinkState, error) {
 		down:      make(map[int]Codec),
 		up:        make(map[int]Codec),
 		prev:      make(map[int][]float64),
+		prev32:    make(map[int][]float32),
 	}, nil
 }
 
@@ -91,6 +97,32 @@ func (l *LinkState) SetPrev(device int, view []float64) {
 	}
 }
 
+// Prev32 is Prev for an f32 link: the last decoded float32 broadcast on
+// the device's downlink. An endpoint uses either the f64 or the f32
+// chain, never both — the chains are kept separate so a precision can
+// never silently mix into the other's lockstep state.
+func (l *LinkState) Prev32(device int) []float32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.prev32[device]
+}
+
+// SetPrev32 is SetPrev for an f32 link; the view is copied into a
+// retained per-device buffer.
+func (l *LinkState) SetPrev32(device int, view []float32) {
+	if l.trackPrev {
+		l.mu.Lock()
+		p := l.prev32[device]
+		if cap(p) < len(view) {
+			p = make([]float32, len(view))
+		}
+		p = p[:len(view)]
+		copy(p, view)
+		l.prev32[device] = p
+		l.mu.Unlock()
+	}
+}
+
 // EvalLink is the shared evaluation-broadcast link: a single chained
 // codec stream (direction Eval, device 0) that ships the global model to
 // every evaluator. The coordinator (or simulator) encodes each eval
@@ -105,7 +137,12 @@ type EvalLink struct {
 }
 
 // NewEvalLink builds the eval link for the deployment's downlink spec.
+// Evaluation always happens at full width: an f32 downlink spec's
+// precision is stripped here (on both endpoints, so the chain stays in
+// lockstep), which is what lets an f32 run's loss be measured in the
+// same arithmetic as its f64 baseline.
 func NewEvalLink(down Spec) (*EvalLink, error) {
+	down.Precision = tensor.F64
 	c, err := down.ForDevice(Eval, 0)
 	if err != nil {
 		return nil, err

@@ -74,6 +74,7 @@ func RestoreCodec(c Codec, st CodecState) error {
 type DeviceLinkState struct {
 	Down, Up CodecState
 	Prev     []float64
+	Prev32   []float32
 }
 
 // LinkSnapshot is the serializable state of a LinkState endpoint.
@@ -99,7 +100,11 @@ func (l *LinkState) Snapshot() (LinkSnapshot, error) {
 		if p := l.prev[dev]; p != nil {
 			prev = append([]float64(nil), p...)
 		}
-		snap.Devices[dev] = DeviceLinkState{Down: ds, Up: us, Prev: prev}
+		var prev32 []float32
+		if p := l.prev32[dev]; p != nil {
+			prev32 = append([]float32(nil), p...)
+		}
+		snap.Devices[dev] = DeviceLinkState{Down: ds, Up: us, Prev: prev, Prev32: prev32}
 	}
 	return snap, nil
 }
@@ -112,6 +117,7 @@ func (l *LinkState) Restore(snap LinkSnapshot) error {
 	l.down = make(map[int]Codec, len(snap.Devices))
 	l.up = make(map[int]Codec, len(snap.Devices))
 	l.prev = make(map[int][]float64, len(snap.Devices))
+	l.prev32 = make(map[int][]float32, len(snap.Devices))
 	for dev, st := range snap.Devices {
 		down, err := l.downSpec.ForDevice(Downlink, dev)
 		if err != nil {
@@ -131,6 +137,9 @@ func (l *LinkState) Restore(snap LinkSnapshot) error {
 		if l.trackPrev && st.Prev != nil {
 			l.prev[dev] = append([]float64(nil), st.Prev...)
 		}
+		if l.trackPrev && st.Prev32 != nil {
+			l.prev32[dev] = append([]float32(nil), st.Prev32...)
+		}
 	}
 	return nil
 }
@@ -144,6 +153,7 @@ func (l *LinkState) Reset(device int) {
 	delete(l.down, device)
 	delete(l.up, device)
 	delete(l.prev, device)
+	delete(l.prev32, device)
 }
 
 // EvalLinkSnapshot is the serializable state of a shared eval link.

@@ -1,6 +1,10 @@
 package comm
 
-import "testing"
+import (
+	"testing"
+
+	"fedprox/internal/tensor"
+)
 
 // TestWireSizeMatchesRealizedEncodes is the contract the virtual-time
 // driver leans on: Spec.WireSize(n) equals the realized WireBytes of an
@@ -34,6 +38,37 @@ func TestWireSizeMatchesRealizedEncodes(t *testing.T) {
 			// A second encode on the same link (error feedback, changed
 			// state) must not change the size either.
 			u = c.Encode(prev, params)
+			if got, want := u.WireBytes(), s.WireSize(n); got != want {
+				t.Errorf("%v n=%d second encode: realized %d, predicted %d", s, n, got, want)
+			}
+		}
+	}
+}
+
+// TestWireSize32MatchesRealizedEncodes is the same contract on the
+// float32 wire: a spec stamped Precision f32 must predict the realized
+// WireBytes of an Encode32 — raw/delta at 4-byte coordinates, qsgd
+// with its 4-byte scale — for every codec that has an f32 path.
+func TestWireSize32MatchesRealizedEncodes(t *testing.T) {
+	specs := []Spec{
+		{Name: "raw", Precision: tensor.F32},
+		{Name: "delta", Precision: tensor.F32},
+		{Name: "qsgd", Precision: tensor.F32},
+		{Name: "qsgd", Bits: 2, Precision: tensor.F32},
+		{Name: "qsgd", Bits: 5, Precision: tensor.F32},
+		{Name: "delta+qsgd", Bits: 3, Precision: tensor.F32},
+		{Name: "delta+qsgd", Bits: 8, Precision: tensor.F32},
+	}
+	for _, s := range specs {
+		for _, n := range []int{1, 2, 7, 64, 257} {
+			params := testVec32(n, 11)
+			prev := testVec32(n, 12)
+			c := mustCodec32(t, s)
+			u := c.Encode32(params, prev)
+			if got, want := u.WireBytes(), s.WireSize(n); got != want {
+				t.Errorf("%v n=%d: realized %d bytes, WireSize predicts %d", s, n, got, want)
+			}
+			u = c.Encode32(prev, params)
 			if got, want := u.WireBytes(), s.WireSize(n); got != want {
 				t.Errorf("%v n=%d second encode: realized %d, predicted %d", s, n, got, want)
 			}

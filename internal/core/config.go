@@ -26,6 +26,7 @@ import (
 	"fedprox/internal/obs"
 	"fedprox/internal/privacy"
 	"fedprox/internal/solver"
+	"fedprox/internal/tensor"
 	"fedprox/internal/vtime"
 )
 
@@ -256,6 +257,24 @@ type Config struct {
 	// the simulator solves dispatches in parallel and device-side
 	// emission order there would not be deterministic.
 	Trace obs.Sink
+	// Precision selects the arithmetic width of the device-side hot path.
+	// The zero value (tensor.F64) is the framework's float64 contract.
+	// tensor.F32 routes the whole per-dispatch pipeline through the
+	// float32 kernels: parameters are narrowed once on arrival, the local
+	// solve (prox term and γ probe included) runs on batched f32 kernels,
+	// and the uplink encodes straight from the f32 solution — wire scales
+	// and dense payloads ship at 4 bytes per word. Results are widened
+	// exactly once at the reply boundary, and evaluation always happens at
+	// full width (the eval link strips precision on both endpoints), so an
+	// f32 run's loss is measured in the same arithmetic as its f64
+	// baseline.
+	//
+	// F32 requires an f32-capable model (model.Model32) and local solver
+	// (solver.LocalSolver32; nil selects SGD, which is capable), no
+	// Privacy mechanism (the DP hook runs at full width), and no topk
+	// codec — the run is rejected up front rather than silently falling
+	// back, because the wire format is part of the negotiated protocol.
+	Precision tensor.Precision
 	// VTime, when enabled (non-nil Model), runs the simulation on the
 	// internal/vtime virtual clock: synchronous rounds are charged their
 	// critical-path duration (slowest contacted device's round-trip plus
@@ -392,11 +411,26 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Precision.Validate(); err != nil {
+		return err
+	}
+	if c.Precision == tensor.F32 && c.Privacy != nil {
+		return fmt.Errorf("core: Precision f32 cannot be combined with a privacy mechanism (the DP hook runs at full width)")
+	}
 	if c.Codec.Enabled() {
-		if err := c.Codec.Validate(); err != nil {
+		// Specs are validated at the run's precision (CommSpecs stamps it
+		// into both directions), so an f32 run with a topk codec is
+		// rejected here rather than at link setup.
+		cc := c.Codec
+		cc.Precision = c.Precision
+		if err := cc.Validate(); err != nil {
 			return err
 		}
-		if err := c.DownlinkCodec.Validate(); err != nil {
+		dc := c.DownlinkCodec
+		if dc.Enabled() {
+			dc.Precision = c.Precision
+		}
+		if err := dc.Validate(); err != nil {
 			return err
 		}
 	} else if c.DownlinkCodec.Enabled() {
@@ -417,12 +451,14 @@ func (c Config) CommSpecs() (down, up comm.Spec) {
 	if up.Seed == 0 {
 		up.Seed = c.Seed
 	}
+	up.Precision = c.Precision
 	down = up
 	if c.DownlinkCodec.Enabled() {
 		down = c.DownlinkCodec
 		if down.Seed == 0 {
 			down.Seed = c.Seed
 		}
+		down.Precision = c.Precision
 	}
 	return down.WithDefaults(), up.WithDefaults()
 }

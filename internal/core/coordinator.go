@@ -470,12 +470,19 @@ func NewCoordinator(mdl model.Model, cfg Config, opts CoordinatorOptions) (*Coor
 	}
 	cfg = cfg.WithDefaults()
 	root := frand.New(cfg.Seed)
+	// Nominal per-transfer cost of an uncoded model: one machine word
+	// per coordinate at the deployment's precision — an f32 deployment
+	// ships 4-byte coordinates even before any codec.
+	wordBytes := 8
+	if cfg.Precision == tensor.F32 {
+		wordBytes = 4
+	}
 	c := &Coordinator{
 		cfg:        cfg,
 		opts:       opts,
 		mdl:        mdl,
 		legacy:     !cfg.Codec.Enabled(),
-		paramBytes: int64(mdl.NumParams() * 8),
+		paramBytes: int64(mdl.NumParams() * wordBytes),
 		n:          opts.NumDevices,
 		sizes:      make([]float64, opts.NumDevices),
 		registered: make([]bool, opts.NumDevices),
@@ -513,7 +520,7 @@ func (c *Coordinator) emit(e obs.Event) {
 func (c *Coordinator) CommSpecs() (down, up comm.Spec) {
 	down, up = c.cfg.CommSpecs()
 	if !up.Enabled() && c.opts.WireEncoded {
-		raw := Config{Codec: comm.Spec{Name: "raw"}, Seed: c.cfg.Seed}
+		raw := Config{Codec: comm.Spec{Name: "raw"}, Seed: c.cfg.Seed, Precision: c.cfg.Precision}
 		down, up = raw.CommSpecs()
 	}
 	return down, up

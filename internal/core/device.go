@@ -99,6 +99,14 @@ type DeviceOptions struct {
 	// which is also why the deterministic simulators leave this nil and
 	// trace only the coordinator.
 	Trace obs.Sink
+	// Precision selects the dispatch hot path's arithmetic width (see
+	// Config.Precision). tensor.F32 requires a model.Model32 model, a
+	// solver.LocalSolver32 solver, and no Privacy mechanism — the
+	// constructors panic otherwise rather than silently running wide.
+	// InstallLinks overrides it with the wire specs' negotiated
+	// precision: once links exist, the wire format is the single truth
+	// both endpoints must agree on.
+	Precision tensor.Precision
 }
 
 // Device is the transport-agnostic FedProx client core, hosting one or
@@ -123,6 +131,7 @@ type Device struct {
 	priv  *privacy.Mechanism
 	gamma bool
 	trace obs.Sink
+	prec  tensor.Precision
 
 	// links, when installed, is the device side of the codec link state:
 	// downlink decoders with the last decoded broadcast per device,
@@ -141,6 +150,7 @@ func NewDevice(mdl model.Model, shards []*data.Shard, opts DeviceOptions) *Devic
 	if local == nil {
 		local = solver.SGDSolver{}
 	}
+	checkPrecision(mdl, local, opts)
 	byID := make(map[int]*data.Shard, len(shards))
 	ids := make([]int, 0, len(shards))
 	for _, s := range shards {
@@ -156,6 +166,29 @@ func NewDevice(mdl model.Model, shards []*data.Shard, opts DeviceOptions) *Devic
 		priv:   opts.Privacy,
 		gamma:  opts.TrackGamma,
 		trace:  opts.Trace,
+		prec:   opts.Precision,
+	}
+}
+
+// checkPrecision enforces the f32 hot path's prerequisites at
+// construction time: a silent fall-back to float64 would desynchronize a
+// wire deployment (the negotiated format is part of the protocol), so an
+// impossible combination is a programming error, not a runtime choice.
+func checkPrecision(mdl model.Model, local solver.LocalSolver, opts DeviceOptions) {
+	if opts.Precision != tensor.F32 {
+		if err := opts.Precision.Validate(); err != nil {
+			panic("core: " + err.Error())
+		}
+		return
+	}
+	if _, ok := mdl.(model.Model32); !ok {
+		panic("core: Precision f32 needs a model implementing model.Model32")
+	}
+	if _, ok := local.(solver.LocalSolver32); !ok {
+		panic("core: Precision f32 needs a solver implementing solver.LocalSolver32")
+	}
+	if opts.Privacy != nil {
+		panic("core: Precision f32 cannot be combined with a privacy mechanism (the DP hook runs at full width)")
 	}
 }
 
@@ -172,6 +205,7 @@ func NewFleetDevice(mdl model.Model, fl data.Fleet, opts DeviceOptions) *Device 
 	if local == nil {
 		local = solver.SGDSolver{}
 	}
+	checkPrecision(mdl, local, opts)
 	return &Device{
 		mdl:   mdl,
 		fleet: fl,
@@ -179,6 +213,7 @@ func NewFleetDevice(mdl model.Model, fl data.Fleet, opts DeviceOptions) *Device 
 		priv:  opts.Privacy,
 		gamma: opts.TrackGamma,
 		trace: opts.Trace,
+		prec:  opts.Precision,
 	}
 }
 
@@ -219,8 +254,37 @@ func (dv *Device) InstallLinks(down, up comm.Spec) error {
 	if err != nil {
 		return err
 	}
+	// The wire specs carry the deployment's negotiated precision; adopt
+	// it so the solve runs in the same width the link encodes. A spec
+	// this runtime cannot execute is a negotiation error, reported here
+	// rather than on the first dispatch.
+	if down.Precision == tensor.F32 {
+		if _, ok := dv.mdl.(model.Model32); !ok {
+			return errors.New("core: f32 link specs on a model without a float32 path (model.Model32)")
+		}
+		if _, ok := dv.local.(solver.LocalSolver32); !ok {
+			return errors.New("core: f32 link specs on a solver without a float32 path (solver.LocalSolver32)")
+		}
+		if dv.priv != nil {
+			return errors.New("core: f32 link specs on a runtime with a privacy mechanism (the DP hook runs at full width)")
+		}
+	}
+	dv.prec = down.Precision
 	dv.links = links
 	return nil
+}
+
+// SupportsPrecision reports whether this runtime can execute dispatches
+// at the given width — what a fednet worker consults to build its Hello
+// precision offer. F32 needs the complete float32 path: a Model32 model,
+// a LocalSolver32 solver, and no privacy mechanism.
+func (dv *Device) SupportsPrecision(p tensor.Precision) bool {
+	if p != tensor.F32 {
+		return p.Validate() == nil
+	}
+	_, mok := dv.mdl.(model.Model32)
+	_, sok := dv.local.(solver.LocalSolver32)
+	return mok && sok && dv.priv == nil
 }
 
 // SeedEvalPrev installs an eval chain base received from the server — a
@@ -270,6 +334,9 @@ func (d Dispatch) SolverConfig() solver.Config {
 // runtimes, the raw solution otherwise, and always reports the epochs
 // actually run in EpochsDone.
 func (dv *Device) HandleDispatch(d Dispatch) (Reply, error) {
+	if dv.prec == tensor.F32 {
+		return dv.handleDispatch32(d)
+	}
 	shard, releaseShard, err := dv.shardFor(d.Device)
 	if err != nil {
 		return Reply{}, err
@@ -354,6 +421,104 @@ func (dv *Device) HandleDispatch(d Dispatch) (Reply, error) {
 	if dv.links != nil {
 		tensor.PutVec(wk)
 	}
+	return r, nil
+}
+
+// handleDispatch32 is HandleDispatch on the float32 fast path: the
+// broadcast is decoded (or narrowed) into a Vec32 once, the whole solve —
+// prox term and γ probe included — runs on the f32 kernels, and the
+// uplink encodes straight from the f32 solution. The only widening is at
+// the reply boundary of link-less runtimes, where Reply.Params keeps its
+// float64 contract.
+func (dv *Device) handleDispatch32(d Dispatch) (Reply, error) {
+	m32, mok := dv.mdl.(model.Model32)
+	s32, sok := dv.local.(solver.LocalSolver32)
+	if !mok || !sok || dv.priv != nil {
+		// Unreachable through the constructors/InstallLinks guards; kept
+		// as a defensive check for direct field manipulation in tests.
+		return Reply{}, errors.New("core: f32 dispatch on a runtime without a complete float32 path")
+	}
+	shard, releaseShard, err := dv.shardFor(d.Device)
+	if err != nil {
+		return Reply{}, err
+	}
+	if releaseShard != nil {
+		defer releaseShard()
+	}
+	var view32 tensor.Vec32
+	switch {
+	case d.Update != nil:
+		if dv.links == nil {
+			return Reply{}, fmt.Errorf("core: encoded dispatch for device %d on a runtime without links", d.Device)
+		}
+		dec, _, err := dv.links.state.Link(d.Device)
+		if err != nil {
+			return Reply{}, err
+		}
+		d32, err := comm.As32(dec)
+		if err != nil {
+			return Reply{}, err
+		}
+		v, err := d32.Decode32(d.Update, dv.links.state.Prev32(d.Device))
+		if err != nil {
+			return Reply{}, err
+		}
+		view32 = v
+	case d.View != nil:
+		// In-process dispatch: narrow the driver's f64 view once; every
+		// step downstream runs at f32.
+		view32 = tensor.GetVec32(len(d.View))
+		tensor.Narrow(view32, d.View)
+	default:
+		return Reply{}, errors.New("core: dispatch carries neither an encoded update nor a decoded view")
+	}
+	if len(view32) != dv.mdl.NumParams() {
+		tensor.PutVec32(view32)
+		return Reply{}, fmt.Errorf("core: parameter length %d != model %d", len(view32), dv.mdl.NumParams())
+	}
+	if d.Update != nil {
+		dv.links.state.SetPrev32(d.Device, view32)
+	}
+
+	epochs := d.Epochs
+	if d.EpochBudget > 0 && d.EpochBudget < epochs {
+		epochs = d.EpochBudget
+	}
+	scfg := d.SolverConfig()
+	scfg.Precision = tensor.F32
+	wk32 := s32.Solve32(m32, shard.Train, view32, scfg, epochs, frand.New(d.BatchSeed))
+	r := Reply{Device: d.Device, EpochsDone: epochs}
+	if dv.links != nil {
+		u, err := dv.links.uplinkEncode32(d.Device, wk32, view32)
+		if err != nil {
+			return Reply{}, err
+		}
+		r.Update = u
+	} else {
+		// The reply boundary is the one widening of the path.
+		out := tensor.GetVec(len(wk32))
+		tensor.Widen(out, wk32)
+		r.Params = out
+	}
+	if dv.gamma {
+		r.Gamma = solver.Gamma32(m32, shard.Train, wk32, view32, scfg)
+	}
+	if dv.trace != nil {
+		down := d.DownBytes
+		if d.Update != nil {
+			down = d.Update.WireBytes()
+		}
+		var up int64
+		if r.Update != nil {
+			up = r.Update.WireBytes()
+		}
+		dv.emit(obs.Event{
+			Kind: obs.KindDeviceDispatch, Round: d.Round, Seq: d.Seq, Device: d.Device,
+			EpochsDone: epochs, BytesUp: up, BytesDown: down,
+		})
+	}
+	tensor.PutVec32(view32)
+	tensor.PutVec32(wk32)
 	return r, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"fedprox/internal/data"
 	"fedprox/internal/metrics"
 	"fedprox/internal/model"
+	"fedprox/internal/tensor"
 	"fedprox/internal/vtime"
 )
 
@@ -141,6 +142,7 @@ func newSimPair(m model.Model, fl Fleet, cfg Config) (*Coordinator, *Device, err
 		Solver:     cfg.Solver,
 		Privacy:    cfg.Privacy,
 		TrackGamma: cfg.TrackGamma,
+		Precision:  cfg.Precision,
 	})
 	if cfg.Codec.Enabled() {
 		down, up := cfg.CommSpecs()
@@ -308,6 +310,9 @@ func Label(cfg Config) string {
 	}
 	if cfg.DeviceBudget != nil {
 		base += " [budget]"
+	}
+	if cfg.Precision == tensor.F32 {
+		base += " [f32]"
 	}
 	if cfg.FoldWeight == WeightByEpochs {
 		base += " [w=epochs]"

@@ -72,7 +72,7 @@ func RunTiered(m model.Model, fl Fleet, cfg Config, topo tier.Topology) (*Histor
 		timed: cfg.VTime.Enabled(),
 		seeds: frand.New(cfg.Seed).Split("tier"),
 	}
-	d.dev = NewFleetDevice(m, fl, DeviceOptions{Solver: cfg.Solver, Privacy: cfg.Privacy})
+	d.dev = NewFleetDevice(m, fl, DeviceOptions{Solver: cfg.Solver, Privacy: cfg.Privacy, Precision: cfg.Precision})
 	if cfg.Codec.Enabled() {
 		down, up := cfg.CommSpecs()
 		if err := d.dev.InstallLinks(down, up); err != nil {

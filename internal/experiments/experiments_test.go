@@ -25,7 +25,7 @@ func micro() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext-async", "ext-bias", "ext-codecs", "ext-comm", "ext-gamma", "ext-hier", "ext-nonconvex", "ext-partialwork", "ext-privacy", "ext-solvers", "ext-syshet", "ext-theory", "ext-vtime",
+		"ext-async", "ext-bias", "ext-codecs", "ext-comm", "ext-gamma", "ext-hier", "ext-nonconvex", "ext-partialwork", "ext-precision", "ext-privacy", "ext-solvers", "ext-syshet", "ext-theory", "ext-vtime",
 		"figure1", "figure10", "figure11", "figure12", "figure2", "figure3",
 		"figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "table1",
 	}

@@ -11,6 +11,7 @@ import (
 	"fedprox/internal/data/sent140sim"
 	"fedprox/internal/data/shakespearesim"
 	"fedprox/internal/feddane"
+	"fedprox/internal/tensor"
 )
 
 func init() {
@@ -47,6 +48,12 @@ func (o Options) base(w workload) core.Config {
 		if o.DownlinkCodec != "" {
 			cfg.DownlinkCodec = comm.Spec{Name: o.DownlinkCodec, Bits: o.CodecBits, TopK: o.CodecTopK}
 		}
+	}
+	if p, err := tensor.ParsePrecision(o.Precision); err == nil {
+		cfg.Precision = p
+	} else {
+		// Keep the bad spelling so Config.Validate reports it.
+		cfg.Precision = tensor.Precision(o.Precision)
 	}
 	return cfg
 }

@@ -44,6 +44,9 @@ type Options struct {
 	// DownlinkCodec optionally overrides Codec on the broadcast
 	// direction (e.g. "raw" to sparsify only the uplink).
 	DownlinkCodec string
+	// Precision selects the device hot path's arithmetic width ("f64" or
+	// "f32", see core.Config.Precision); empty keeps full width.
+	Precision string
 	// AsyncAlpha, AsyncStalenessExp, and AsyncBufferK parameterize the
 	// asynchronous aggregation runs of ext-async and ext-vtime (zero
 	// selects the core.AsyncConfig defaults).

@@ -264,6 +264,13 @@ func (s *Server) codecOfferError(hello *Hello) string {
 			return fmt.Sprintf("fednet: coordinator requires codec %q, worker offers %v", want, offered)
 		}
 	}
+	precs := hello.Precisions
+	if len(precs) == 0 {
+		precs = []string{"f64"}
+	}
+	if want := s.downSpec.Precision.String(); !slices.Contains(precs, want) {
+		return fmt.Sprintf("fednet: coordinator requires precision %q, worker offers %v", want, precs)
+	}
 	return ""
 }
 

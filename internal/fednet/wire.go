@@ -58,6 +58,12 @@ type Hello struct {
 	// coordinator refuses the deployment (via Welcome.Err) if its
 	// configured codec is not offered. An empty list offers only "raw".
 	Codecs []string
+	// Precisions lists the arithmetic widths this worker can execute
+	// ("f64", "f32"). The coordinator refuses the deployment if its
+	// configured precision is not offered. An empty list offers only
+	// "f64" — the pre-precision wire vocabulary, so old workers remain
+	// compatible with full-width deployments.
+	Precisions []string
 }
 
 // Welcome is the coordinator's reply to a Hello: the codec negotiation

@@ -13,6 +13,7 @@ import (
 	"fedprox/internal/model"
 	"fedprox/internal/obs"
 	"fedprox/internal/solver"
+	"fedprox/internal/tensor"
 )
 
 // Worker is the transport shell around one core.Device: it registers the
@@ -31,6 +32,14 @@ type Worker struct {
 	// Hello; nil advertises every codec comm registers. The coordinator
 	// aborts the session if its configured codec is not offered.
 	Offer []string
+
+	// PrecisionOffer restricts which arithmetic widths this worker
+	// advertises; nil advertises every width the device runtime actually
+	// supports (see core.Device.SupportsPrecision). Setting it models an
+	// older or constrained worker — e.g. []string{"f64"} for a binary
+	// predating the f32 path — and the coordinator aborts the session if
+	// its configured precision is not offered.
+	PrecisionOffer []string
 
 	// trace mirrors DeviceOptions.Trace: the runtime emits the per-request
 	// device events, the worker shell adds a worker-solve span around each
@@ -94,6 +103,18 @@ func (w *Worker) Serve(c *conn) error {
 	if hello.Codecs == nil {
 		hello.Codecs = comm.Names()
 	}
+	// Offer exactly the widths this runtime can execute: "f32" appears
+	// only when the model, solver, and privacy configuration complete the
+	// float32 path, so the coordinator can never negotiate a precision
+	// the device would have to refuse at link installation.
+	hello.Precisions = w.PrecisionOffer
+	if hello.Precisions == nil {
+		for _, p := range tensor.Precisions() {
+			if w.dev.SupportsPrecision(tensor.Precision(p)) {
+				hello.Precisions = append(hello.Precisions, p)
+			}
+		}
+	}
 	for _, reg := range w.dev.Hosted() {
 		hello.Devices = append(hello.Devices, DeviceInfo{ID: reg.ID, TrainSize: reg.TrainSize})
 	}
@@ -117,6 +138,11 @@ func (w *Worker) Serve(c *conn) error {
 	for _, name := range []string{welcome.Downlink.Name, welcome.Uplink.Name} {
 		if !slices.Contains(hello.Codecs, name) {
 			return fmt.Errorf("fednet: coordinator selected codec %q, but this worker offered only %v", name, hello.Codecs)
+		}
+	}
+	for _, p := range []tensor.Precision{welcome.Downlink.Precision, welcome.Uplink.Precision} {
+		if !slices.Contains(hello.Precisions, p.String()) {
+			return fmt.Errorf("fednet: coordinator selected precision %q, but this worker offered only %v", p.String(), hello.Precisions)
 		}
 	}
 	if err := w.dev.InstallLinks(welcome.Downlink, welcome.Uplink); err != nil {

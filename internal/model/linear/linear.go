@@ -84,7 +84,8 @@ func (m *Model) Grad(dst, w []float64, batch []data.Example) float64 {
 	}
 	W, b := m.split(w)
 	gW, gb := m.split(dst)
-	scratch := make([]float64, 2*m.Classes)
+	scratch := tensor.GetVec(2 * m.Classes)
+	defer tensor.PutVec(scratch)
 	logits, probs := scratch[:m.Classes], scratch[m.Classes:]
 	total := 0.0
 	inv := 1 / float64(len(batch))

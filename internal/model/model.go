@@ -12,6 +12,7 @@ package model
 import (
 	"fedprox/internal/data"
 	"fedprox/internal/frand"
+	"fedprox/internal/tensor"
 )
 
 // Model is a learning workload over flat parameter vectors.
@@ -32,6 +33,23 @@ type Model interface {
 	Grad(dst, w []float64, batch []data.Example) float64
 	// Predict returns the predicted label for a single example.
 	Predict(w []float64, ex data.Example) int
+}
+
+// Model32 is the optional float32 fast path a Model may implement. The
+// f32 solvers type-assert for it: when present (and the run opts into
+// tensor.F32 precision), local SGD/GD steps call Grad32 on narrowed
+// parameters and only widen once at the reply boundary.
+//
+// Implementations are expected to batch: Grad32 should walk the whole
+// minibatch per call (gathering examples into row-major panels) rather
+// than re-entering a per-example inner loop, since the f32 mode exists
+// for hot-path speed. The f64 Grad stays the reference semantics; Grad32
+// must compute the same mean gradient up to float32 rounding.
+type Model32 interface {
+	Model
+	// Grad32 writes the mean gradient of the loss over the batch into
+	// dst (overwriting it) and returns the mean loss, all in float32.
+	Grad32(dst, w tensor.Vec32, batch []data.Example) float32
 }
 
 // Accuracy returns the fraction of examples in batch that m predicts

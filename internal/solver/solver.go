@@ -34,6 +34,11 @@ type Config struct {
 	// stochastic gradient (the FedDane gradient-correction term). It must
 	// have the model's parameter length.
 	Correction []float64
+	// Precision selects the arithmetic width of the local solve.
+	// tensor.F32 routes SGD/GD through the float32 kernel path when the
+	// model implements model.Model32 (and Correction is nil — FedDane
+	// stays full-width); anything else runs the float64 reference path.
+	Precision tensor.Precision
 }
 
 // SGD runs epochs passes of mini-batch SGD on the device subproblem
@@ -56,12 +61,17 @@ func SGD(m model.Model, train []data.Example, w0 []float64, cfg Config, epochs i
 	w := tensor.GetVec(len(w0))
 	copy(w, w0)
 	grad := tensor.GetVec(m.NumParams())
-	batch := make([]data.Example, 0, cfg.BatchSize)
+	batch := batchPool.get(cfg.BatchSize)[:0]
+	perm := permPool.get(len(train))
 	// Batch windows are sliced straight off the epoch permutation —
 	// identical draws and batches as data.Batches, without materializing
-	// the per-epoch slice-of-slices.
+	// the per-epoch slice-of-slices. The permutation buffer is pooled:
+	// identity-fill + Shuffle consumes exactly the draws rng.Perm would.
 	for e := 0; e < epochs; e++ {
-		perm := rng.Perm(len(train))
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(perm)
 		for start := 0; start < len(train); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(train) {
@@ -75,6 +85,8 @@ func SGD(m model.Model, train []data.Example, w0 []float64, cfg Config, epochs i
 			applyStep(w, grad, w0, cfg)
 		}
 	}
+	permPool.put(perm)
+	batchPool.put(batch)
 	tensor.PutVec(grad)
 	return w
 }

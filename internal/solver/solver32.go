@@ -1,0 +1,136 @@
+// Float32 local solves: the narrow twins of SGD/GD plus the f32
+// subproblem gradient and γ-probe. The contract mirrors the dispatch
+// boundary: parameters arrive already narrowed (tensor.Vec32), every
+// step — stochastic gradient, proximal term, γ measurement — runs in
+// float32, and the caller widens exactly once wherever the result
+// crosses back into f64 aggregation math.
+
+package solver
+
+import (
+	"fedprox/internal/data"
+	"fedprox/internal/frand"
+	"fedprox/internal/model"
+	"fedprox/internal/tensor"
+)
+
+// SGD32 runs epochs passes of mini-batch SGD on the device subproblem in
+// float32, starting from the narrowed w0, and returns the resulting
+// parameters as a pooled Vec32 (hand back with tensor.PutVec32 when not
+// retained). Batch order consumes exactly the rng draws SGD would, so a
+// f32 run is comparable step-for-step with its f64 twin.
+//
+// cfg.Correction must be nil: the FedDane correction stays on the
+// float64 reference path.
+func SGD32(m model.Model32, train []data.Example, w0 tensor.Vec32, cfg Config, epochs int, rng *frand.Source) tensor.Vec32 {
+	if epochs < 0 {
+		panic("solver: negative epochs")
+	}
+	if cfg.BatchSize <= 0 {
+		panic("data: non-positive batch size")
+	}
+	if cfg.Correction != nil {
+		panic("solver: SGD32 does not support Correction")
+	}
+	w := tensor.GetVec32(len(w0))
+	copy(w, w0)
+	grad := tensor.GetVec32(m.NumParams())
+	batch := batchPool.get(cfg.BatchSize)[:0]
+	perm := permPool.get(len(train))
+	for e := 0; e < epochs; e++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(perm)
+		for start := 0; start < len(train); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(train) {
+				end = len(train)
+			}
+			batch = batch[:0]
+			for _, i := range perm[start:end] {
+				batch = append(batch, train[i])
+			}
+			m.Grad32(grad, w, batch)
+			applyStep32(w, grad, w0, cfg)
+		}
+	}
+	permPool.put(perm)
+	batchPool.put(batch)
+	tensor.PutVec32(grad)
+	return w
+}
+
+// GD32 runs steps iterations of full-batch gradient descent in float32
+// and returns the resulting parameters as a pooled Vec32.
+func GD32(m model.Model32, train []data.Example, w0 tensor.Vec32, cfg Config, steps int) tensor.Vec32 {
+	if cfg.Correction != nil {
+		panic("solver: GD32 does not support Correction")
+	}
+	w := tensor.GetVec32(len(w0))
+	copy(w, w0)
+	grad := tensor.GetVec32(m.NumParams())
+	for s := 0; s < steps; s++ {
+		m.Grad32(grad, w, train)
+		applyStep32(w, grad, w0, cfg)
+	}
+	tensor.PutVec32(grad)
+	return w
+}
+
+// applyStep32 performs w ← w − η·(grad + μ(w − w0)) in place.
+func applyStep32(w, grad, w0 tensor.Vec32, cfg Config) {
+	eta := float32(cfg.LearningRate)
+	mu := float32(cfg.Mu)
+	for i := range w {
+		w[i] -= eta * (grad[i] + mu*(w[i]-w0[i]))
+	}
+}
+
+// SubproblemGrad32 writes ∇h(w; w0) = ∇F(w) + μ(w − w0) over the full
+// local training set into dst and returns the subproblem loss
+// F(w) + (μ/2)‖w − w0‖², all in float32.
+func SubproblemGrad32(dst tensor.Vec32, m model.Model32, train []data.Example, w, w0 tensor.Vec32, cfg Config) float32 {
+	if cfg.Correction != nil {
+		panic("solver: SubproblemGrad32 does not support Correction")
+	}
+	loss := m.Grad32(dst, w, train)
+	mu := float32(cfg.Mu)
+	if mu != 0 {
+		for i := range dst {
+			dst[i] += mu * (w[i] - w0[i])
+		}
+		loss += 0.5 * mu * tensor.SqDist32(w, w0)
+	}
+	return loss
+}
+
+// Gamma32 measures γ-inexactness on the float32 path, mirroring Gamma:
+// γ = ‖∇h(w; w0)‖/‖∇h(w0; w0)‖, with 0 when the start is already
+// stationary. Norms are finished in float64, so the denominator guard
+// keeps the same scale as the f64 probe.
+func Gamma32(m model.Model32, train []data.Example, w, w0 tensor.Vec32, cfg Config) float64 {
+	grad := tensor.GetVec32(m.NumParams())
+	defer tensor.PutVec32(grad)
+	SubproblemGrad32(grad, m, train, w0, w0, cfg)
+	denom := tensor.Norm232(grad)
+	if denom < 1e-12 {
+		return 0
+	}
+	SubproblemGrad32(grad, m, train, w, w0, cfg)
+	return tensor.Norm232(grad) / denom
+}
+
+// F32Capable reports whether a (model, config) pair can take the float32
+// fast path: the run opted in, the model implements the batched f32
+// gradient, and no FedDane correction is in play.
+func F32Capable(m model.Model, cfg Config) (model.Model32, bool) {
+	if cfg.Precision != tensor.F32 || cfg.Correction != nil {
+		return nil, false
+	}
+	m32, ok := m.(model.Model32)
+	if !ok {
+		return nil, false
+	}
+	return m32, true
+}

@@ -1,0 +1,40 @@
+package tensor
+
+import "sync"
+
+// The float32 twins of pool.go's vecPool/boxPool: the f32 dispatch path
+// (narrowed views, f32 gradients, panel scratch) recycles through its
+// own pools so f32 and f64 buffers never mix capacities.
+var (
+	vec32Pool sync.Pool // *Vec32 boxes holding a pooled vector
+	box32Pool sync.Pool
+)
+
+// GetVec32 returns a length-n float32 vector with unspecified contents.
+// Callers must fully overwrite it (or Zero32 it) before reading.
+func GetVec32(n int) Vec32 {
+	if p, ok := vec32Pool.Get().(*Vec32); ok {
+		v := *p
+		*p = nil
+		box32Pool.Put(p)
+		if cap(v) >= n {
+			return v[:n]
+		}
+	}
+	return make(Vec32, n)
+}
+
+// PutVec32 returns a vector to the pool. The caller must not touch v
+// afterwards, and must only Put vectors it exclusively owns.
+func PutVec32(v Vec32) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:cap(v)]
+	p, ok := box32Pool.Get().(*Vec32)
+	if !ok {
+		p = new(Vec32)
+	}
+	*p = v
+	vec32Pool.Put(p)
+}
